@@ -1,0 +1,129 @@
+// Command ebpftrace is the reproduction's analogue of the paper's eBPF
+// toolset (§5.2): it loads a website on a simulated machine while tracing
+// every interrupt handler on the attacker's core, joins the kernel log
+// against the attacker-observed execution gaps, and reports the attribution
+// statistics and per-type gap-length histograms behind Figures 5 and 6 and
+// the ">99% of gaps are interrupts" claim.
+//
+// Usage:
+//
+//	ebpftrace [-site nytimes.com] [-duration 10] [-isolation pin,noirq]
+//	          [-seed 1] [-hist]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/ebpf"
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/kutrace"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/website"
+)
+
+func main() {
+	site := flag.String("site", "nytimes.com", "website to load")
+	durationS := flag.Float64("duration", 10, "trace duration in (virtual) seconds")
+	isolation := flag.String("isolation", "pin,noirq", "comma-separated: fixedfreq,pin,noirq,vm")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	showHist := flag.Bool("hist", false, "print per-type gap-length histograms")
+	showKU := flag.Bool("kutrace", false, "print a KUtrace-style whole-machine timeline and per-core breakdown")
+	flag.Parse()
+
+	iso := kernel.Isolation{}
+	for _, mech := range strings.Split(*isolation, ",") {
+		switch strings.TrimSpace(mech) {
+		case "":
+		case "fixedfreq":
+			iso.FixedFreqGHz = 2.4
+		case "pin":
+			iso.PinCores = true
+		case "noirq":
+			iso.RemoveIRQs = true
+		case "vm":
+			iso.SeparateVMs = true
+		default:
+			fmt.Fprintf(os.Stderr, "unknown isolation %q\n", mech)
+			os.Exit(2)
+		}
+	}
+
+	dur := sim.Duration(*durationS * float64(sim.Second))
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: *seed, Isolation: iso})
+	if *showKU {
+		for _, c := range m.Cores {
+			c.RecordSteals(true)
+		}
+	}
+	m.Attacker().RecordSteals(true)
+	tracer := ebpf.Attach(m.Ctl, kernel.AttackerCore, 1<<21)
+
+	visit := website.ProfileFor(*site).Instantiate(m.RNG().Fork("visit"))
+	browser.LoadPage(m, visit, 1.0, dur)
+	m.Eng.Run(dur)
+
+	gaps := ebpf.ObserveGaps(m.Attacker(), 100*sim.Nanosecond)
+	records := tracer.Buf.Drain()
+	attr := ebpf.Attribute(gaps, records)
+
+	fmt.Printf("site:            %s (%v simulated)\n", *site, dur)
+	fmt.Printf("kernel records:  %d (ring buffer dropped %d)\n", len(records), tracer.Buf.Dropped)
+	fmt.Printf("attacker gaps:   %d (≥100ns)\n", attr.TotalGaps)
+	fmt.Printf("explained:       %d (%.2f%%; paper reports >99%%)\n",
+		attr.ExplainedGaps, 100*attr.ExplainedFraction())
+	fmt.Printf("unexplained:     %d (scheduler preemptions etc.)\n", len(attr.Unexplained))
+	fmt.Println()
+
+	fmt.Println("interrupt deliveries on the attacker core (/proc/interrupts view):")
+	type countRow struct {
+		ty interrupt.Type
+		n  uint64
+	}
+	var rows []countRow
+	for ty, n := range tracer.CountsByType {
+		rows = append(rows, countRow{ty, n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for _, r := range rows {
+		fmt.Printf("  %-18s %8d\n", r.ty, r.n)
+	}
+	fmt.Println()
+
+	fmt.Println("gap lengths per associated interrupt type (µs):")
+	var types []interrupt.Type
+	for ty := range attr.GapLengthsByType {
+		types = append(types, ty)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, ty := range types {
+		lens := attr.GapLengthsByType[ty]
+		us := make([]float64, len(lens))
+		for i, d := range lens {
+			us[i] = float64(d) / float64(sim.Microsecond)
+		}
+		fmt.Printf("  %-18s n=%-7d p50 %.2f  p95 %.2f  max %.2f\n",
+			ty, len(us), stats.Percentile(us, 50), stats.Percentile(us, 95), stats.Max(us))
+		if *showHist {
+			h := stats.NewHistogram(0, 10, 25)
+			h.AddAll(us)
+			fmt.Print(h.Render(40))
+		}
+	}
+
+	if *showKU {
+		fmt.Println("\nKUtrace-style whole-machine view (kernel time per core):")
+		tl := kutrace.Capture(m, dur)
+		fmt.Print(tl.Render(72))
+		fmt.Println()
+		for core := 0; core < tl.Cores; core++ {
+			fmt.Print(tl.BreakdownFor(core))
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Command experiments regenerates every table and figure from the paper at
+// a selectable scale and prints the rows the paper reports. With -out it
+// also writes CSV files suitable for plotting.
+//
+// Usage:
+//
+//	experiments [-scale small|medium|full] [-only t1,t2,f3,...] [-out dir]
+//	            [-md report.md] [-seed N]
+//
+// The paper's full scale (100 sites × 100 traces + 5000 open world) takes
+// hours; "small" runs in about a minute and preserves every qualitative
+// shape. EXPERIMENTS.md records the calibrated comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/render"
+	"repro/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: small, medium, or full")
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,bg,f3,f4,f5,f6,f7,f8")
+	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	mdPath := flag.String("md", "", "write a paper-vs-measured markdown report to this file")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	flag.Parse()
+
+	sc, figRuns, err := scaleFor(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	r := runner{sc: sc, figRuns: figRuns, outDir: *outDir, seed: *seed, md: &strings.Builder{}}
+	fmt.Fprintf(r.md, "# Reproduction report (scale %s, seed %d)\n", *scale, *seed)
+	steps := []struct {
+		key string
+		fn  func() error
+	}{
+		{"t1", r.table1}, {"t2", r.table2}, {"t3", r.table3}, {"t4", r.table4},
+		{"bg", r.backgroundNoise},
+		{"f3", r.figure3}, {"f4", r.figure4}, {"f5", r.figure5},
+		{"f6", r.figure6}, {"f7", r.figure7}, {"f8", r.figure8},
+	}
+	for _, st := range steps {
+		if !sel(st.key) {
+			continue
+		}
+		if err := st.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", st.key, err)
+			os.Exit(1)
+		}
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(r.md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scaleFor maps the scale name to dataset sizes and figure run counts.
+func scaleFor(name string, seed uint64) (core.Scale, int, error) {
+	switch name {
+	case "small":
+		return core.Scale{Sites: 10, TracesPerSite: 8, OpenWorld: 20, Folds: 4, Seed: seed}, 5, nil
+	case "medium":
+		return core.Scale{Sites: 30, TracesPerSite: 15, OpenWorld: 100, Folds: 5, Seed: seed}, 20, nil
+	case "full":
+		return core.Scale{Sites: 100, TracesPerSite: 100, OpenWorld: 5000, Folds: 10, Seed: seed}, 100, nil
+	default:
+		return core.Scale{}, 0, fmt.Errorf("unknown scale %q (want small, medium, or full)", name)
+	}
+}
+
+type runner struct {
+	sc      core.Scale
+	figRuns int
+	outDir  string
+	seed    uint64
+	md      *strings.Builder
+}
+
+func (r runner) csv(name string, header []string, rows [][]string) {
+	if r.outDir == "" {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ",") + "\n")
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	path := filepath.Join(r.outDir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+	}
+}
+
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func (r runner) table1() error {
+	fmt.Println("== Table 1: loop-counting vs cache attack across browser × OS ==")
+	rows, err := core.Table1(r.sc)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, row := range rows {
+		fmt.Println("  " + row.String())
+		csv = append(csv, []string{
+			row.Config.Browser.String(), row.Config.OS.String(),
+			f(row.ClosedLoop.Top1.Mean), f(row.ClosedSweep.Top1.Mean),
+			f(row.OpenLoop.Combined.Mean), f(row.OpenSweep.Combined.Mean),
+		})
+	}
+	r.csv("table1.csv", []string{"browser", "os", "closed_loop", "closed_sweep", "open_loop_combined", "open_sweep_combined"}, csv)
+	fmt.Fprint(r.md, "\n## Table 1 — closed-world top-1 (%), loop vs cache attack\n\n")
+	fmt.Fprintln(r.md, "| browser | os | loop (paper) | loop (ours) | cache (paper) | cache (ours) |")
+	fmt.Fprintln(r.md, "|---|---|---|---|---|---|")
+	for i, row := range rows {
+		ref := core.PaperTable1[i]
+		fmt.Fprintf(r.md, "| %s | %s | %.1f | %.1f | %.1f | %.1f |\n",
+			ref.Browser, ref.OS, ref.ClosedLoop, row.ClosedLoop.Top1.Mean,
+			ref.ClosedCache, row.ClosedSweep.Top1.Mean)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r runner) table2() error {
+	fmt.Println("== Table 2: attacks under noise countermeasures ==")
+	rows, err := core.Table2(r.sc)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, row := range rows {
+		fmt.Println("  " + row.String())
+		csv = append(csv, []string{row.Attack.String(), row.Noise, f(row.Result.Top1.Mean)})
+	}
+	r.csv("table2.csv", []string{"attack", "noise", "top1"}, csv)
+	fmt.Fprint(r.md, "\n## Table 2 — accuracy (%) under noise countermeasures\n\n")
+	fmt.Fprintln(r.md, "| attack | noise | paper | ours |")
+	fmt.Fprintln(r.md, "|---|---|---|---|")
+	for _, row := range rows {
+		fmt.Fprintf(r.md, "| %s | %s | %.1f | %.1f |\n",
+			row.Attack, row.Noise, core.PaperTable2[row.Attack][row.Noise], row.Result.Top1.Mean)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r runner) table3() error {
+	fmt.Println("== Table 3: isolation mechanisms (Python attacker) ==")
+	rows, err := core.Table3(r.sc)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, row := range rows {
+		fmt.Println("  " + row.String())
+		csv = append(csv, []string{row.Mechanism, f(row.Result.Top1.Mean), f(row.Result.Top5.Mean)})
+	}
+	r.csv("table3.csv", []string{"mechanism", "top1", "top5"}, csv)
+	fmt.Fprint(r.md, "\n## Table 3 — isolation mechanisms, top-1 (%)\n\n")
+	fmt.Fprintln(r.md, "| mechanism | paper | ours |")
+	fmt.Fprintln(r.md, "|---|---|---|")
+	for i, row := range rows {
+		fmt.Fprintf(r.md, "| %s | %.1f | %.1f |\n",
+			row.Mechanism, core.PaperTable3[i].Top1, row.Result.Top1.Mean)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r runner) table4() error {
+	fmt.Println("== Table 4: timer defenses (Python attacker) ==")
+	rows, err := core.Table4(r.sc)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, row := range rows {
+		fmt.Println("  " + row.String())
+		csv = append(csv, []string{row.Timer, f(row.DeltaMS), f(row.PeriodMS),
+			f(row.Result.Top1.Mean), f(row.Result.Top5.Mean)})
+	}
+	r.csv("table4.csv", []string{"timer", "delta_ms", "period_ms", "top1", "top5"}, csv)
+	fmt.Fprint(r.md, "\n## Table 4 — timer defenses, top-1 (%)\n\n")
+	fmt.Fprintln(r.md, "| timer | P (ms) | paper | ours |")
+	fmt.Fprintln(r.md, "|---|---|---|---|")
+	for i, row := range rows {
+		fmt.Fprintf(r.md, "| %s | %g | %.1f | %.1f |\n",
+			row.Timer, row.PeriodMS, core.PaperTable4[i].Top1, row.Result.Top1.Mean)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r runner) backgroundNoise() error {
+	fmt.Println("== §4.2 robustness: background noise (Slack + Spotify) ==")
+	res, err := core.BackgroundNoise(r.sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + res.String())
+	fmt.Fprintf(r.md, "\n## §4.2 — background-noise robustness\n\npaper 96.6 → 93.4; ours %.1f → %.1f\n",
+		res.Quiet.Top1.Mean, res.Noisy.Top1.Mean)
+	fmt.Println()
+	return nil
+}
+
+func (r runner) figure3() error {
+	fmt.Println("== Figure 3: example loop-counting traces ==")
+	traces, err := core.Figure3(r.seed)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	rows := map[string][]float64{}
+	for _, site := range core.FigureSites {
+		tr := traces[site]
+		fmt.Printf("  %-14s min %.0f max %.0f mean %.0f iterations/period\n",
+			site, stats.Min(tr.Values), stats.Max(tr.Values), stats.Mean(tr.Values))
+		rows[site] = tr.Values
+		for i, v := range tr.Values {
+			csv = append(csv, []string{site, f(float64(i) * tr.Period.Seconds()), f(v)})
+		}
+	}
+	fmt.Println()
+	fmt.Print(render.HeatMap(rows, core.FigureSites, 72, "0s ──────────────── darker = more interrupt time ─────────────── 15s"))
+	r.csv("figure3.csv", []string{"site", "time_s", "iterations"}, csv)
+	fmt.Println()
+	return nil
+}
+
+func (r runner) figure4() error {
+	fmt.Println("== Figure 4: loop vs sweep averaged traces (correlation) ==")
+	series, err := core.Figure4(r.figRuns, r.seed)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, s := range series {
+		fmt.Printf("  %-14s r = %.2f (paper: nytimes 0.87, amazon 0.79, weather 0.94)\n", s.Site, s.Correlation)
+		fmt.Print(render.Overlay(s.Loop, s.Sweep, 72, 8))
+		for i := range s.Loop {
+			csv = append(csv, []string{s.Site, fmt.Sprint(i), f(s.Loop[i]), f(s.Sweep[i])})
+		}
+	}
+	r.csv("figure4.csv", []string{"site", "sample", "loop_norm", "sweep_norm"}, csv)
+	fmt.Fprint(r.md, "\n## Figure 4 — loop/sweep trace correlation r\n\n")
+	fmt.Fprintln(r.md, "| site | paper | ours |")
+	fmt.Fprintln(r.md, "|---|---|---|")
+	for _, sr := range series {
+		fmt.Fprintf(r.md, "| %s | %.2f | %.2f |\n", sr.Site, core.PaperFigure4Correlations[sr.Site], sr.Correlation)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r runner) figure5() error {
+	fmt.Println("== Figure 5: % time in interrupt handlers (non-movable only) ==")
+	series, err := core.Figure5(r.figRuns, r.seed)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, s := range series {
+		fmt.Printf("  %-14s peak softirq %.2f%%, peak resched %.2f%%\n",
+			s.Site, stats.Max(s.SoftirqPct), stats.Max(s.ReschedPct))
+		for i := range s.SoftirqPct {
+			csv = append(csv, []string{s.Site, f(float64(i) * 0.1), f(s.SoftirqPct[i]), f(s.ReschedPct[i])})
+		}
+	}
+	r.csv("figure5.csv", []string{"site", "time_s", "softirq_pct", "resched_pct"}, csv)
+	fmt.Println()
+	return nil
+}
+
+func (r runner) figure6() error {
+	fmt.Println("== Figure 6: gap-length distributions per interrupt type ==")
+	res, err := core.Figure6(r.figRuns*2, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  gaps explained by interrupts: %.2f%% (paper: >99%%)\n",
+		100*res.Attribution.ExplainedFraction())
+	var csv [][]string
+	for ty, h := range res.Histograms {
+		mode := h.Mode()
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total > 0 {
+			fmt.Printf("  %-16s n=%-6d mode ≈ %.1f µs\n", ty, total, mode)
+		}
+		for i := range h.Counts {
+			csv = append(csv, []string{ty.String(), f(h.BinCenter(i)), fmt.Sprint(h.Counts[i])})
+		}
+	}
+	r.csv("figure6.csv", []string{"type", "gap_us", "count"}, csv)
+	fmt.Fprintf(r.md, "\n## Figure 6 / §5.2 — gaps explained by interrupts: paper >%.0f%%, ours %.2f%%\n",
+		100*core.PaperGapAttribution, 100*res.Attribution.ExplainedFraction())
+	fmt.Println()
+	return nil
+}
+
+func (r runner) figure7() error {
+	fmt.Println("== Figure 7: timer transfer functions ==")
+	series := core.Figure7(r.seed)
+	var csv [][]string
+	for _, s := range series {
+		fmt.Printf("  %-11s %d samples\n", s.Timer, len(s.RealMS))
+		for i := range s.RealMS {
+			csv = append(csv, []string{s.Timer, f(s.RealMS[i]), f(s.ValueMS[i])})
+		}
+	}
+	r.csv("figure7.csv", []string{"timer", "real_ms", "reported_ms"}, csv)
+	fmt.Println()
+	return nil
+}
+
+func (r runner) figure8() error {
+	fmt.Println("== Figure 8: durations of one 5 ms attacker loop ==")
+	series, err := core.Figure8(200*r.figRuns/5, r.seed)
+	if err != nil {
+		return err
+	}
+	var csv [][]string
+	for _, s := range series {
+		fmt.Printf("  %-11s mean %.2f ms, p5 %.2f, p95 %.2f\n", s.Timer,
+			stats.Mean(s.Durations), stats.Percentile(s.Durations, 5), stats.Percentile(s.Durations, 95))
+		for _, d := range s.Durations {
+			csv = append(csv, []string{s.Timer, f(d)})
+		}
+	}
+	r.csv("figure8.csv", []string{"timer", "duration_ms"}, csv)
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package browser models the web browsers from Table 1: their secure
+// timers, their page-load time dilation, and the page-load engine that
+// converts a website profile into scheduled device interrupts, deferred
+// softirqs, CPU bursts, and memory traffic on a simulated machine.
+package browser
+
+import (
+	"fmt"
+
+	"repro/internal/clockface"
+	"repro/internal/sim"
+)
+
+// Browser identifies the browsers evaluated in the paper.
+type Browser uint8
+
+// Evaluated browsers (versions from Table 1).
+const (
+	Chrome     Browser = iota // Chrome 92
+	Firefox                   // Firefox 91
+	Safari                    // Safari 14
+	TorBrowser                // Tor Browser 10
+)
+
+func (b Browser) String() string {
+	switch b {
+	case Chrome:
+		return "chrome-92"
+	case Firefox:
+		return "firefox-91"
+	case Safari:
+		return "safari-14"
+	case TorBrowser:
+		return "tor-browser-10"
+	default:
+		return fmt.Sprintf("browser(%d)", uint8(b))
+	}
+}
+
+// Timer returns the browser's performance.now() implementation.
+func (b Browser) Timer(seed uint64) clockface.Timer {
+	switch b {
+	case Chrome:
+		return clockface.Chrome(seed)
+	case Firefox:
+		return clockface.Firefox(seed)
+	case Safari:
+		return clockface.Safari()
+	case TorBrowser:
+		return clockface.Tor()
+	default:
+		return clockface.Precise{}
+	}
+}
+
+// TraceDuration returns the paper's trace length for this browser: 15 s,
+// except 50 s for Tor Browser whose pages load noticeably slower (§4.1).
+func (b Browser) TraceDuration() sim.Duration {
+	if b == TorBrowser {
+		return 50 * sim.Second
+	}
+	return 15 * sim.Second
+}
+
+// Dilation stretches website activity timelines for browser-engine reasons
+// (JIT tiers, scheduling). Tor Browser's much larger slowdown comes from
+// the circuit model in internal/tornet, applied per visit, not from this
+// static factor.
+func (b Browser) Dilation() float64 {
+	switch b {
+	case Firefox:
+		return 1.05
+	case Safari:
+		return 0.97
+	case TorBrowser:
+		return 1.4 // JIT disabled, security extensions
+	default:
+		return 1.0
+	}
+}
+
+// VisitJitter scales per-visit profile variance beyond the network path:
+// Tor Browser adds content-level randomness (letterboxing, disabled
+// caches force full refetches with varying CDN nodes).
+func (b Browser) VisitJitter() float64 {
+	if b == TorBrowser {
+		return 2.0
+	}
+	return 1.0
+}

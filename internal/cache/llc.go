@@ -1,0 +1,192 @@
+// Package cache models the last-level cache (LLC) as used by the
+// sweep-counting attack of Shusterman et al. and by the cache-sweep noise
+// countermeasure.
+//
+// Two models are provided:
+//
+//   - LLC: a detailed set-associative cache with tree pseudo-LRU
+//     replacement, used for validation and unit-level fidelity.
+//   - OccupancyModel: a fast aggregate model tracking how many attacker
+//     lines remain resident, used inside large experiments where simulating
+//     every access would dominate runtime. DESIGN.md records this as an
+//     ablation (BenchmarkAblationCacheModels).
+package cache
+
+import "fmt"
+
+// Geometry describes an LLC.
+type Geometry struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// DefaultGeometry matches an Intel Core-i5 class part: 8 MiB, 16-way, 64 B
+// lines, like the paper's desktop test machines.
+var DefaultGeometry = Geometry{SizeBytes: 8 << 20, Ways: 16, LineBytes: 64}
+
+// Sets returns the number of cache sets.
+func (g Geometry) Sets() int { return g.SizeBytes / (g.Ways * g.LineBytes) }
+
+// Lines returns the total number of cache lines.
+func (g Geometry) Lines() int { return g.SizeBytes / g.LineBytes }
+
+// Validate checks the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 || g.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", g)
+	}
+	if g.SizeBytes%(g.Ways*g.LineBytes) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*line %d", g.SizeBytes, g.Ways*g.LineBytes)
+	}
+	return nil
+}
+
+// LLC is a detailed set-associative cache with tree pseudo-LRU replacement.
+// Addresses are line-granular (an "address" is a line index in some address
+// space); owner tags distinguish attacker and victim lines.
+type LLC struct {
+	geo  Geometry
+	sets []set
+
+	hits   uint64
+	misses uint64
+}
+
+type way struct {
+	valid bool
+	tag   uint64
+	owner uint8
+}
+
+type set struct {
+	ways []way
+	plru uint64 // tree-PLRU state bits
+}
+
+// Owner tags for cache lines.
+const (
+	OwnerNone uint8 = iota
+	OwnerAttacker
+	OwnerVictim
+	OwnerNoise
+)
+
+// NewLLC builds a detailed cache with the given geometry.
+func NewLLC(geo Geometry) (*LLC, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	c := &LLC{geo: geo, sets: make([]set, geo.Sets())}
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, geo.Ways)
+	}
+	return c, nil
+}
+
+// Geometry returns the cache geometry.
+func (c *LLC) Geometry() Geometry { return c.geo }
+
+// Stats returns cumulative hits and misses.
+func (c *LLC) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the hit/miss counters.
+func (c *LLC) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Access touches one line address for the given owner. It returns true on a
+// hit. On a miss the PLRU victim way in the address's set is replaced.
+func (c *LLC) Access(lineAddr uint64, owner uint8) bool {
+	setIdx := int(lineAddr % uint64(len(c.sets)))
+	tag := lineAddr / uint64(len(c.sets))
+	s := &c.sets[setIdx]
+	for i := range s.ways {
+		if s.ways[i].valid && s.ways[i].tag == tag {
+			c.hits++
+			s.touch(i)
+			return true
+		}
+	}
+	c.misses++
+	v := s.victim()
+	s.ways[v] = way{valid: true, tag: tag, owner: owner}
+	s.touch(v)
+	return false
+}
+
+// OwnedLines counts resident lines with the given owner tag.
+func (c *LLC) OwnedLines(owner uint8) int {
+	n := 0
+	for i := range c.sets {
+		for _, w := range c.sets[i].ways {
+			if w.valid && w.owner == owner {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// touch promotes way i in the PLRU tree: every node on the path to i is
+// pointed at the opposite half, so the next victim walk avoids i.
+// Convention: bit 0 = victim in left half, bit 1 = victim in right half.
+func (s *set) touch(i int) {
+	n := len(s.ways)
+	node := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if i < mid {
+			s.plru |= 1 << uint(node) // i is left: victimize right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			s.plru &^= 1 << uint(node) // i is right: victimize left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// victim walks the PLRU tree to select a replacement way, preferring invalid
+// ways first.
+func (s *set) victim() int {
+	for i, w := range s.ways {
+		if !w.valid {
+			return i
+		}
+	}
+	n := len(s.ways)
+	node := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.plru&(1<<uint(node)) != 0 {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SweepResult summarizes one full-buffer sweep through the detailed cache.
+type SweepResult struct {
+	Accesses int
+	Misses   int
+}
+
+// Sweep accesses every line of an LLC-sized buffer (line addresses
+// [base, base+Lines)) as the attacker, returning hit/miss counts. This is
+// the inner loop of Figure 2a.
+func (c *LLC) Sweep(base uint64) SweepResult {
+	lines := c.geo.Lines()
+	res := SweepResult{Accesses: lines}
+	for i := 0; i < lines; i++ {
+		if !c.Access(base+uint64(i), OwnerAttacker) {
+			res.Misses++
+		}
+	}
+	return res
+}

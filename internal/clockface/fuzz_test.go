@@ -1,0 +1,42 @@
+package clockface
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzTimersMonotone drives every timer with arbitrary forward step
+// sequences and asserts monotonicity — the invariant browsers must keep
+// (§6.1: "the timer must increase monotonically").
+func FuzzTimersMonotone(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 50, 200, 3})
+	f.Add(uint64(9), []byte{0, 0, 255})
+	f.Fuzz(func(t *testing.T, seed uint64, steps []byte) {
+		if len(steps) > 256 {
+			steps = steps[:256]
+		}
+		timers := []Timer{
+			Precise{},
+			Quantized{Delta: 100 * sim.Microsecond},
+			NewJittered(100*sim.Microsecond, seed),
+			NewPhaseQuantized(sim.Millisecond, seed),
+			NewRandomized(sim.NewStream(seed, "fuzz")),
+		}
+		for _, tm := range timers {
+			real := sim.Time(0)
+			last := tm.Read(0)
+			for _, s := range steps {
+				real += sim.Time(s) * 37 * sim.Microsecond
+				v := tm.Read(real)
+				if v < last {
+					t.Fatalf("%s went backwards: %v after %v at real %v", tm.Name(), v, last, real)
+				}
+				if nc := tm.NextChange(real); nc <= real {
+					t.Fatalf("%s NextChange did not advance", tm.Name())
+				}
+				last = v
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package clockface
+
+import "repro/internal/sim"
+
+// Browser timer presets from Table 1: Chrome clamps performance.now() to
+// 0.1 ms with jitter; Firefox 91 and Safari 14 quantize to 1 ms; Tor
+// Browser quantizes to 100 ms.
+
+// Chrome returns Chrome 92's jittered 0.1 ms timer.
+func Chrome(seed uint64) Timer { return NewJittered(100*sim.Microsecond, seed) }
+
+// Firefox returns Firefox 91's 1 ms quantized timer with jitter modeled as
+// a session-constant random phase on the quantization boundaries (the
+// paper's Table 1 annotates Firefox "1ms w/ jitter"; per-tick jitter at a
+// 1 ms quantum would randomize every 5 ms period by ±20 %, which the
+// paper's near-Safari Firefox accuracy rules out).
+func Firefox(seed uint64) Timer {
+	return NewPhaseQuantized(sim.Millisecond, seed)
+}
+
+// Safari returns Safari 14's 1 ms quantized timer.
+func Safari() Timer { return Quantized{Delta: sim.Millisecond} }
+
+// Tor returns Tor Browser 10's 100 ms quantized timer.
+func Tor() Timer { return Quantized{Delta: 100 * sim.Millisecond} }
+
+// Python returns the effective resolution of Python's time.time(), used by
+// the Table 3/4 native attacker: microsecond-class granularity.
+func Python() Timer { return Quantized{Delta: sim.Microsecond} }
+
+// Rust returns the eBPF study's Rust attacker clock: CLOCK_MONOTONIC via
+// vDSO, effectively continuous at our timescale.
+func Rust() Timer { return Precise{} }

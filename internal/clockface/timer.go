@@ -1,0 +1,219 @@
+// Package clockface implements the secure-timer transfer functions the
+// paper analyzes (§6.1): resolution quantization, Chrome's hash-based
+// jitter, and the paper's proposed randomized timer. Attackers observe real
+// time only through one of these timers, so Tables 1 and 4 and Figures 7–8
+// are properties of this package.
+package clockface
+
+import "repro/internal/sim"
+
+// Timer converts real virtual time into the time an attacker can observe.
+// Read must be called with nondecreasing arguments (stateful timers advance
+// internal state). NextChange returns the earliest real instant strictly
+// after `real` at which the reported value may change; attackers use it to
+// step efficiently across timer ticks.
+type Timer interface {
+	Read(real sim.Time) sim.Time
+	NextChange(real sim.Time) sim.Time
+	Name() string
+}
+
+// Precise returns real time unmodified (a native attacker reading
+// CLOCK_MONOTONIC).
+type Precise struct{}
+
+// Read returns real time unchanged.
+func (Precise) Read(real sim.Time) sim.Time { return real }
+
+// NextChange advances by one nanosecond: the precise timer changes
+// continuously.
+func (Precise) NextChange(real sim.Time) sim.Time { return real + 1 }
+
+// Name identifies the timer.
+func (Precise) Name() string { return "precise" }
+
+// Quantized reduces resolution to Delta: Tsecure = floor(Treal/Δ)·Δ.
+// Tor Browser uses Δ=100 ms; Firefox and Safari use Δ=1 ms.
+type Quantized struct {
+	Delta sim.Duration
+}
+
+// Read reports the quantized time.
+func (q Quantized) Read(real sim.Time) sim.Time {
+	return real - real%q.Delta
+}
+
+// NextChange returns the next quantization boundary.
+func (q Quantized) NextChange(real sim.Time) sim.Time {
+	return real - real%q.Delta + q.Delta
+}
+
+// Name identifies the timer.
+func (q Quantized) Name() string { return "quantized" }
+
+// Jittered models a clamped-plus-jitter timer: quantize to Δ then add
+// ε ∈ {0, Amp} chosen by a keyed integer hash of the tick index, so the
+// output stays monotonic and repeat reads within one tick agree (§6.1).
+// Chrome uses Amp = Δ (its published formula); browsers with milder jitter
+// use a smaller amplitude.
+type Jittered struct {
+	Delta sim.Duration
+	Amp   sim.Duration
+	key   uint64
+}
+
+// NewJittered creates Chrome's jittered timer (ε ∈ {0, Δ}) with the ε
+// sequence determined by seed.
+func NewJittered(delta sim.Duration, seed uint64) *Jittered {
+	return NewJitteredAmp(delta, delta, seed)
+}
+
+// NewJitteredAmp creates a jittered timer with an explicit ε amplitude in
+// (0, Δ].
+func NewJitteredAmp(delta, amp sim.Duration, seed uint64) *Jittered {
+	if delta <= 0 {
+		panic("clockface: jitter delta must be positive")
+	}
+	if amp <= 0 || amp > delta {
+		panic("clockface: jitter amplitude must be in (0, delta]")
+	}
+	return &Jittered{Delta: delta, Amp: amp, key: seed}
+}
+
+// Read reports the jittered time.
+func (j *Jittered) Read(real sim.Time) sim.Time {
+	tick := int64(real / j.Delta)
+	return sim.Time(tick)*j.Delta + j.epsilon(tick)
+}
+
+// NextChange returns the next tick boundary (the value may coincidentally
+// stay the same across one boundary when ε compensates; callers loop).
+func (j *Jittered) NextChange(real sim.Time) sim.Time {
+	return real - real%j.Delta + j.Delta
+}
+
+// Name identifies the timer.
+func (j *Jittered) Name() string { return "jittered" }
+
+// epsilon returns 0 or Amp from a splitmix-style mix of (key, tick),
+// mirroring Chrome's "computed using a hash function" jitter.
+func (j *Jittered) epsilon(tick int64) sim.Duration {
+	x := uint64(tick)*0x9e3779b97f4a7c15 ^ j.key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	if x&1 == 1 {
+		return j.Amp
+	}
+	return 0
+}
+
+// PhaseQuantized is a quantizer whose tick boundaries sit at a random but
+// session-constant phase: Read(t) = floor((t−φ)/Δ)·Δ + φ (clamped at 0).
+// This models browsers whose "jitter" is a per-session random offset
+// rather than per-tick noise: successive period measurements are exact,
+// but absolute timestamps are displaced.
+type PhaseQuantized struct {
+	Delta sim.Duration
+	Phase sim.Duration
+}
+
+// NewPhaseQuantized derives the phase deterministically from seed.
+func NewPhaseQuantized(delta sim.Duration, seed uint64) PhaseQuantized {
+	if delta <= 0 {
+		panic("clockface: quantizer delta must be positive")
+	}
+	return PhaseQuantized{Delta: delta, Phase: sim.Duration(seed % uint64(delta))}
+}
+
+// Read reports the phase-shifted quantized time.
+func (q PhaseQuantized) Read(real sim.Time) sim.Time {
+	if real < q.Phase {
+		return 0
+	}
+	shifted := real - q.Phase
+	return shifted - shifted%q.Delta + q.Phase
+}
+
+// NextChange returns the next shifted boundary.
+func (q PhaseQuantized) NextChange(real sim.Time) sim.Time {
+	if real < q.Phase {
+		return q.Phase
+	}
+	shifted := real - q.Phase
+	return shifted - shifted%q.Delta + q.Delta + q.Phase
+}
+
+// Name identifies the timer.
+func (q PhaseQuantized) Name() string { return "phase-quantized" }
+
+// Randomized is the paper's proposed defense (§6.1): the reported time
+// increases monotonically with random increments at random intervals.
+// Every Δ it draws integers α, β ~ U[AlphaLo, AlphaHi]:
+//
+//	Tsecure            if Treal − Tsecure < α·Δ
+//	Tsecure + β·Δ      if α·Δ ≤ Treal − Tsecure < Threshold
+//	Treal + β·Δ        otherwise
+//
+// The paper's evaluation uses α, β ~ U[5, 25], Δ = 1 ms, Threshold = 100 ms.
+type Randomized struct {
+	Delta     sim.Duration
+	AlphaLo   int
+	AlphaHi   int
+	Threshold sim.Duration
+
+	rng     *sim.Stream
+	tick    int64    // last applied update index
+	secure  sim.Time // current reported value
+	started bool
+}
+
+// NewRandomized creates the paper's randomized timer with its published
+// parameters (Δ=1 ms, α,β ∈ U[5,25], threshold=100 ms).
+func NewRandomized(rng *sim.Stream) *Randomized {
+	return &Randomized{
+		Delta:     sim.Millisecond,
+		AlphaLo:   5,
+		AlphaHi:   25,
+		Threshold: 100 * sim.Millisecond,
+		rng:       rng,
+	}
+}
+
+// Name identifies the timer.
+func (r *Randomized) Name() string { return "randomized" }
+
+// draw returns an integer in [AlphaLo, AlphaHi].
+func (r *Randomized) draw() int64 {
+	return int64(r.AlphaLo + r.rng.IntN(r.AlphaHi-r.AlphaLo+1))
+}
+
+// Read reports the randomized time, advancing internal updates every Δ.
+// Arguments must be nondecreasing.
+func (r *Randomized) Read(real sim.Time) sim.Time {
+	if !r.started {
+		r.started = true
+		r.tick = int64(real / r.Delta)
+		r.secure = sim.Time(r.tick) * r.Delta
+	}
+	for next := r.tick + 1; sim.Time(next)*r.Delta <= real; next++ {
+		r.tick = next
+		treal := sim.Time(next) * r.Delta
+		alpha, beta := r.draw(), r.draw()
+		diff := treal - r.secure
+		switch {
+		case diff < sim.Duration(alpha)*r.Delta:
+			// unchanged
+		case diff < r.Threshold:
+			r.secure += sim.Duration(beta) * r.Delta
+		default:
+			r.secure = treal + sim.Duration(beta)*r.Delta
+		}
+	}
+	return r.secure
+}
+
+// NextChange returns the next Δ update boundary.
+func (r *Randomized) NextChange(real sim.Time) sim.Time {
+	return real - real%r.Delta + r.Delta
+}

@@ -1,0 +1,253 @@
+package clockface
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPrecise(t *testing.T) {
+	var p Precise
+	if p.Read(12345) != 12345 {
+		t.Fatal("precise should be identity")
+	}
+	if p.NextChange(10) != 11 {
+		t.Fatal("precise NextChange")
+	}
+	if p.Name() != "precise" {
+		t.Fatal("name")
+	}
+}
+
+func TestQuantized(t *testing.T) {
+	q := Quantized{Delta: 100}
+	cases := []struct{ in, want sim.Time }{
+		{0, 0}, {99, 0}, {100, 100}, {250, 200},
+	}
+	for _, c := range cases {
+		if got := q.Read(c.in); got != c.want {
+			t.Errorf("Read(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if q.NextChange(150) != 200 {
+		t.Fatalf("NextChange = %d", q.NextChange(150))
+	}
+	if q.NextChange(200) != 300 {
+		t.Fatalf("NextChange at boundary = %d", q.NextChange(200))
+	}
+}
+
+func TestJitteredWithinTwoDelta(t *testing.T) {
+	j := NewJittered(100, 42)
+	for real := sim.Time(0); real < 100000; real += 37 {
+		v := j.Read(real)
+		diff := v - real
+		if diff < -200 || diff > 200 {
+			t.Fatalf("jittered deviates by %d at %d", diff, real)
+		}
+	}
+}
+
+func TestJitteredDeterministicPerTick(t *testing.T) {
+	j := NewJittered(100, 7)
+	if j.Read(150) != j.Read(199) {
+		t.Fatal("reads within one tick must agree")
+	}
+	j2 := NewJittered(100, 7)
+	if j.Read(5000) != j2.Read(5000) {
+		t.Fatal("same seed must give same jitter")
+	}
+	j3 := NewJittered(100, 8)
+	same := true
+	for k := sim.Time(0); k < 100*100; k += 100 {
+		if j.Read(k) != j3.Read(k) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ somewhere")
+	}
+}
+
+func TestJitteredPanicsOnBadDelta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewJittered(0, 1)
+}
+
+// Property: every timer is monotone nondecreasing in real time.
+func TestMonotonicityProperty(t *testing.T) {
+	timers := func() []Timer {
+		return []Timer{
+			Precise{},
+			Quantized{Delta: 100 * sim.Microsecond},
+			NewJittered(100*sim.Microsecond, 3),
+			NewPhaseQuantized(sim.Millisecond, 12345),
+			NewRandomized(sim.NewStream(9, "rt")),
+		}
+	}
+	f := func(steps []uint16) bool {
+		for _, tm := range timers() {
+			real := sim.Time(0)
+			last := tm.Read(0)
+			for _, s := range steps {
+				real += sim.Time(s)
+				v := tm.Read(real)
+				if v < last {
+					return false
+				}
+				last = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextChange always moves strictly forward and never skips a
+// change: for quantized timers the value at NextChange differs from the
+// value at the current tick start.
+func TestNextChangeProperty(t *testing.T) {
+	q := Quantized{Delta: 250}
+	f := func(raw uint32) bool {
+		real := sim.Time(raw)
+		nc := q.NextChange(real)
+		if nc <= real {
+			return false
+		}
+		return q.Read(nc) != q.Read(real)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedBehaviour(t *testing.T) {
+	r := NewRandomized(sim.NewStream(11, "rand"))
+	// Collect the deviation from real time over 2 s of 1 ms reads.
+	var minDev, maxDev sim.Duration
+	changes := 0
+	last := r.Read(0)
+	for real := sim.Time(0); real <= 2*sim.Second; real += sim.Millisecond {
+		v := r.Read(real)
+		if v != last {
+			changes++
+		}
+		last = v
+		dev := v - real
+		if dev < minDev {
+			minDev = dev
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if changes < 20 {
+		t.Fatalf("randomized timer changed only %d times in 2s", changes)
+	}
+	// Deviation must wander in roughly ±(threshold + βmax·Δ).
+	if maxDev <= 0 {
+		t.Fatalf("timer never ran ahead of real time (maxDev=%v)", maxDev)
+	}
+	if minDev >= 0 {
+		t.Fatalf("timer never lagged real time (minDev=%v)", minDev)
+	}
+	lim := 100*sim.Millisecond + 26*sim.Millisecond
+	if maxDev > lim || minDev < -lim {
+		t.Fatalf("deviation out of range: [%v, %v]", minDev, maxDev)
+	}
+}
+
+func TestRandomizedHoldsBetweenUpdates(t *testing.T) {
+	r := NewRandomized(sim.NewStream(12, "hold"))
+	v1 := r.Read(500 * sim.Microsecond)
+	v2 := r.Read(900 * sim.Microsecond)
+	if v1 != v2 {
+		t.Fatal("value changed between Δ updates")
+	}
+	if nc := r.NextChange(1500 * sim.Microsecond); nc != 2*sim.Millisecond {
+		t.Fatalf("NextChange = %v", nc)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if Chrome(1).Name() != "jittered" {
+		t.Error("Chrome preset")
+	}
+	if Firefox(1).Name() != "phase-quantized" {
+		t.Error("Firefox preset")
+	}
+	if Safari().(Quantized).Delta != sim.Millisecond {
+		t.Error("Safari preset")
+	}
+	if Tor().(Quantized).Delta != 100*sim.Millisecond {
+		t.Error("Tor preset")
+	}
+	if Python().(Quantized).Delta != sim.Microsecond {
+		t.Error("Python preset")
+	}
+	if Rust().Name() != "precise" {
+		t.Error("Rust preset")
+	}
+}
+
+func TestPhaseQuantized(t *testing.T) {
+	q := NewPhaseQuantized(1000, 400) // phase 400
+	if q.Read(350) != 0 {
+		t.Fatalf("pre-phase read = %v", q.Read(350))
+	}
+	if got := q.Read(400); got != 400 {
+		t.Fatalf("Read(400) = %v", got)
+	}
+	if got := q.Read(1399); got != 400 {
+		t.Fatalf("Read(1399) = %v", got)
+	}
+	if got := q.Read(1400); got != 1400 {
+		t.Fatalf("Read(1400) = %v", got)
+	}
+	if nc := q.NextChange(500); nc != 1400 {
+		t.Fatalf("NextChange = %v", nc)
+	}
+	if nc := q.NextChange(100); nc != 400 {
+		t.Fatalf("pre-phase NextChange = %v", nc)
+	}
+	// Periods between boundaries are exact multiples of Delta: a 5ms
+	// target always spans exactly 5 ticks.
+	prev := q.NextChange(0)
+	for i := 0; i < 20; i++ {
+		next := q.NextChange(prev)
+		if next-prev != 1000 {
+			t.Fatalf("boundary spacing %v", next-prev)
+		}
+		prev = next
+	}
+}
+
+func TestPhaseQuantizedSeedsDiffer(t *testing.T) {
+	a := NewPhaseQuantized(sim.Millisecond, 1)
+	b := NewPhaseQuantized(sim.Millisecond, 999999)
+	if a.Phase == b.Phase {
+		t.Fatal("phases should differ across seeds")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero delta should panic")
+		}
+	}()
+	NewPhaseQuantized(0, 1)
+}
+
+func TestJitteredAmpValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("amp > delta should panic")
+		}
+	}()
+	NewJitteredAmp(100, 200, 1)
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/clockface"
+	"repro/internal/defense"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/tornet"
+	"repro/internal/trace"
+	"repro/internal/website"
+)
+
+// Scale sets dataset sizes. The paper's full scale is 100 sites × 100
+// traces (+5000 open world); tests and benches shrink this.
+type Scale struct {
+	// Sites is the number of closed-world sites (first N of Appendix A).
+	Sites int
+	// TracesPerSite is the number of visits recorded per site.
+	TracesPerSite int
+	// OpenWorld is the number of non-sensitive traces, each from a
+	// unique site (0 = closed-world experiment).
+	OpenWorld int
+	// Folds for cross-validation (paper: 10).
+	Folds int
+	// Seed roots all randomness.
+	Seed uint64
+	// Parallelism bounds concurrent trace simulations (0 = NumCPU).
+	Parallelism int
+}
+
+// Validate checks the scale is usable.
+func (s Scale) Validate() error {
+	if s.Sites < 2 {
+		return fmt.Errorf("core: need at least 2 sites, got %d", s.Sites)
+	}
+	if s.Sites > 100 {
+		return fmt.Errorf("core: closed world has only 100 sites, got %d", s.Sites)
+	}
+	if s.TracesPerSite < 1 {
+		return fmt.Errorf("core: need at least 1 trace per site")
+	}
+	if s.Folds < 2 {
+		return fmt.Errorf("core: need at least 2 folds")
+	}
+	return nil
+}
+
+// NonSensitiveLabel returns the open-world class index for this scale.
+func (s Scale) NonSensitiveLabel() int { return s.Sites }
+
+// CollectOne simulates a single labeled trace for the scenario: it builds a
+// fresh machine, arms any defenses, loads the page, and runs the attacker.
+func CollectOne(scn Scenario, profile website.Profile, label, visit int, root uint64) (trace.Trace, error) {
+	if err := scn.normalize(); err != nil {
+		return trace.Trace{}, err
+	}
+	seed := traceSeed(root, scn.Name, profile.Domain, visit)
+	m := kernel.NewMachine(kernel.Config{
+		OS:              scn.OS,
+		Seed:            seed,
+		Isolation:       scn.Isolation,
+		SoftirqPolicy:   scn.SoftirqPolicy,
+		BackgroundNoise: scn.BackgroundNoise,
+	})
+	tm := scn.timer(seed)
+	samples := scn.samples(tm)
+
+	dilation := scn.Dilation
+	activityWindow := sim.Duration(float64(scn.TraceDuration) * 1.2)
+	if scn.InterruptNoise {
+		defense.DefaultInterruptNoise().Start(m, activityWindow)
+		dilation *= defense.PageLoadSlowdown
+	}
+	if scn.CacheNoise {
+		defense.DefaultCacheSweepNoise().Start(m, activityWindow)
+	}
+
+	jitter := scn.VisitJitter
+	if jitter <= 0 {
+		jitter = scn.Browser.VisitJitter()
+	}
+	visitProfile := profile.InstantiateScaled(m.RNG().Fork(fmt.Sprintf("visit-%d", visit)), jitter)
+	if scn.Browser == browser.TorBrowser {
+		// Each visit rides a fresh Tor circuit: per-visit latency and
+		// bandwidth distortion on top of ordinary visit jitter.
+		circuit := tornet.NewCircuit(m.RNG().Fork("circuit"))
+		visitProfile = circuit.Distort(visitProfile, m.RNG().Fork("tor-distort"))
+	}
+	browser.LoadPage(m, visitProfile, dilation, activityWindow)
+
+	// Figure 2's pseudocode indexes a millisecond-granular array by
+	// reported time (`int Trace[T*1000]; ... Trace[t_begin] = counter`);
+	// that only differs from sequential storage when the reported clock
+	// deviates substantially from real time, i.e. under the randomized
+	// timer, where it scatters the samples across the array.
+	cfg := attack.Config{
+		Timer:   tm,
+		Period:  scn.Period,
+		Samples: samples,
+		Variant: scn.Variant,
+	}
+	if _, ok := tm.(*clockface.Randomized); ok {
+		cfg.SlotIndexed = true
+		cfg.SlotUnit = sim.Millisecond
+		cfg.Samples = int(scn.TraceDuration / cfg.SlotUnit)
+	}
+	var tr trace.Trace
+	var err error
+	if scn.Attack == SweepCounting {
+		tr, err = attack.CollectSweep(m, cfg)
+	} else {
+		tr, err = attack.CollectLoop(m, cfg)
+	}
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	tr.Domain = profile.Domain
+	tr.Label = label
+	return tr, nil
+}
+
+// CollectDataset builds the full labeled dataset for a scenario at the
+// given scale, simulating traces in parallel. Closed-world classes are the
+// first Sites domains of Appendix A; open-world traces (if any) share the
+// single non-sensitive class, each drawn from a unique generated site.
+func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := scn.normalize(); err != nil {
+		return nil, err
+	}
+	domains := website.ClosedWorldDomains()[:sc.Sites]
+
+	type job struct {
+		profile website.Profile
+		label   int
+		visit   int
+		slot    int
+	}
+	var jobs []job
+	for i, d := range domains {
+		p := website.ProfileFor(d)
+		for v := 0; v < sc.TracesPerSite; v++ {
+			jobs = append(jobs, job{profile: p, label: i, visit: v, slot: len(jobs)})
+		}
+	}
+	for k := 0; k < sc.OpenWorld; k++ {
+		jobs = append(jobs, job{
+			profile: website.OpenWorldProfile(k),
+			label:   sc.NonSensitiveLabel(),
+			visit:   0,
+			slot:    len(jobs),
+		})
+	}
+
+	results := make([]trace.Trace, len(jobs))
+	errs := make([]error, len(jobs))
+	par := sc.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				results[j.slot], errs[j.slot] = CollectOne(scn, j.profile, j.label, j.visit, sc.Seed)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	classes := sc.Sites
+	if sc.OpenWorld > 0 {
+		classes++
+	}
+	ds := &trace.Dataset{NumClasses: classes, Traces: results}
+	// Trace lengths can differ by a sample or two under jittered timers;
+	// trim to the shortest so the dataset validates.
+	minLen := len(results[0].Values)
+	for _, t := range results {
+		if len(t.Values) < minLen {
+			minLen = len(t.Values)
+		}
+	}
+	for i := range ds.Traces {
+		ds.Traces[i].Values = ds.Traces[i].Values[:minLen]
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

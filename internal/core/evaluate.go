@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ClassifierMaker builds a fresh classifier per fold.
+type ClassifierMaker func(seed uint64) ml.Classifier
+
+// DefaultClassifier is the harness default: correlation-matching nearest
+// centroid, which tracks the paper's deep model's *relative* accuracies at
+// a tiny fraction of the runtime (see BenchmarkAblationClassifiers).
+func DefaultClassifier(seed uint64) ml.Classifier {
+	return &ml.NearestCentroid{Prep: ml.DefaultPreprocessor}
+}
+
+// Result summarizes one experiment's cross-validated accuracy.
+type Result struct {
+	Scenario string
+	// Top1 and Top5 are percent accuracies (mean ± std over folds).
+	Top1, Top5 stats.Summary
+	// Per-fold top-1 fractions, for significance testing across
+	// experiments (§4.2's two-sample t-test).
+	FoldTop1 []float64
+
+	// Open-world metrics (zero unless the dataset has a non-sensitive
+	// class): accuracy on sensitive traces, on non-sensitive traces, and
+	// combined.
+	Sensitive    stats.Summary
+	NonSensitive stats.Summary
+	Combined     stats.Summary
+	OpenWorld    bool
+
+	// Confusion aggregates test predictions across all folds (every
+	// trace appears exactly once as a test sample in k-fold CV).
+	Confusion *stats.ConfusionMatrix
+}
+
+func (r Result) String() string {
+	if r.OpenWorld {
+		return fmt.Sprintf("%s: closed %s | open sens %s non-sens %s combined %s",
+			r.Scenario, r.Top1, r.Sensitive, r.NonSensitive, r.Combined)
+	}
+	return fmt.Sprintf("%s: top1 %s top5 %s", r.Scenario, r.Top1, r.Top5)
+}
+
+// Evaluate runs k-fold cross-validation of the classifier on the dataset,
+// reporting top-1/top-5 and (for open-world datasets) per-category
+// accuracy, following §4.1's methodology. With a nil maker, closed-world
+// datasets use DefaultClassifier and open-world ones its threshold-reject
+// variant (ml.OpenWorldCentroid).
+func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Result, error) {
+	if mk == nil {
+		if ds.NumClasses == sc.Sites+1 {
+			ns := sc.NonSensitiveLabel()
+			mk = func(uint64) ml.Classifier {
+				return &ml.OpenWorldCentroid{Prep: ml.DefaultPreprocessor, NSLabel: ns}
+			}
+		} else {
+			mk = DefaultClassifier
+		}
+	}
+	folds, err := ds.KFold(sc.Folds, sc.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	nsLabel := sc.NonSensitiveLabel()
+	openWorld := ds.NumClasses == sc.Sites+1
+
+	confusion := stats.NewConfusionMatrix(ds.NumClasses)
+	var top1s, top5s, sens, nonsens, combined []float64
+	for fi, fold := range folds {
+		clf := mk(sc.Seed + uint64(fi))
+		if err := clf.Fit(ds.Subset(fold.Train)); err != nil {
+			return Result{}, fmt.Errorf("fold %d: %w", fi, err)
+		}
+		var scores [][]float64
+		var labels []int
+		for _, i := range fold.Test {
+			s := clf.Scores(ds.Traces[i].Values)
+			scores = append(scores, s)
+			labels = append(labels, ds.Traces[i].Label)
+			confusion.Add(ds.Traces[i].Label, stats.ArgMax(s))
+		}
+		top1s = append(top1s, stats.TopKAccuracy(scores, labels, 1))
+		top5s = append(top5s, stats.TopKAccuracy(scores, labels, 5))
+		if openWorld {
+			var sOK, sN, nOK, nN int
+			for i, l := range labels {
+				pred := stats.ArgMax(scores[i])
+				if l == nsLabel {
+					nN++
+					if pred == nsLabel {
+						nOK++
+					}
+				} else {
+					sN++
+					if pred == l {
+						sOK++
+					}
+				}
+			}
+			if sN > 0 {
+				sens = append(sens, float64(sOK)/float64(sN))
+			}
+			if nN > 0 {
+				nonsens = append(nonsens, float64(nOK)/float64(nN))
+			}
+			combined = append(combined, float64(sOK+nOK)/float64(sN+nN))
+		}
+	}
+	res := Result{
+		Scenario:  name,
+		Top1:      stats.Summarize(top1s),
+		Top5:      stats.Summarize(top5s),
+		FoldTop1:  top1s,
+		Confusion: confusion,
+	}
+	if openWorld {
+		res.OpenWorld = true
+		res.Sensitive = stats.Summarize(sens)
+		res.NonSensitive = stats.Summarize(nonsens)
+		res.Combined = stats.Summarize(combined)
+	}
+	return res, nil
+}
+
+// RunExperiment collects a dataset for the scenario and evaluates it —
+// the full offline-training + online-attack pipeline of §4.1.
+func RunExperiment(scn Scenario, sc Scale, mk ClassifierMaker) (Result, error) {
+	ds, err := CollectDataset(scn, sc)
+	if err != nil {
+		return Result{}, err
+	}
+	return Evaluate(ds, sc, mk, scn.Name)
+}
+
+// CompareSignificance runs the paper's two-sample t-test between two
+// experiments' per-fold accuracies (§4.2).
+func CompareSignificance(a, b Result) (stats.TTestResult, error) {
+	return stats.WelchTTest(a.FoldTop1, b.FoldTop1)
+}
+
+// Confusion is one often-confused (true, predicted) site pair.
+type ConfusionPair struct {
+	True, Predicted string
+	Count           int
+}
+
+// TopConfusions extracts the k most frequent off-diagonal cells from a
+// result's confusion matrix, naming classes with the given labels (the
+// non-sensitive open-world class may be labeled beyond the slice; it is
+// rendered as "non-sensitive").
+func TopConfusions(cm *stats.ConfusionMatrix, labels []string, k int) []ConfusionPair {
+	if cm == nil || k <= 0 {
+		return nil
+	}
+	name := func(i int) string {
+		if i < len(labels) {
+			return labels[i]
+		}
+		return "non-sensitive"
+	}
+	var pairs []ConfusionPair
+	for t := 0; t < cm.K; t++ {
+		for p := 0; p < cm.K; p++ {
+			if t != p && cm.At(t, p) > 0 {
+				pairs = append(pairs, ConfusionPair{True: name(t), Predicted: name(p), Count: cm.At(t, p)})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Count != pairs[j].Count {
+			return pairs[i].Count > pairs[j].Count
+		}
+		if pairs[i].True != pairs[j].True {
+			return pairs[i].True < pairs[j].True
+		}
+		return pairs[i].Predicted < pairs[j].Predicted
+	})
+	if len(pairs) > k {
+		pairs = pairs[:k]
+	}
+	return pairs
+}
+
+// Stability reruns an experiment across several seeds and summarizes the
+// spread of its top-1 accuracy — the tool behind the "seeds change results
+// by roughly the printed ±" claim in EXPERIMENTS.md.
+func Stability(scn Scenario, sc Scale, seeds []uint64) (stats.Summary, error) {
+	if len(seeds) < 2 {
+		return stats.Summary{}, fmt.Errorf("core: Stability needs at least 2 seeds")
+	}
+	var accs []float64
+	for _, seed := range seeds {
+		s := sc
+		s.Seed = seed
+		res, err := RunExperiment(scn, s, nil)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		accs = append(accs, res.Top1.Mean/100)
+	}
+	return stats.Summarize(accs), nil
+}

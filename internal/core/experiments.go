@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/clockface"
+	"repro/internal/defense"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// This file reproduces the paper's tables. Each function runs the relevant
+// scenarios at the given scale and returns printable rows; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+
+// Table1Config is one (browser, OS) row of Table 1.
+type Table1Config struct {
+	Browser browser.Browser
+	OS      kernel.OS
+}
+
+// Table1Configs lists the paper's eight browser×OS combinations.
+func Table1Configs() []Table1Config {
+	return []Table1Config{
+		{browser.Chrome, kernel.Linux},
+		{browser.Chrome, kernel.Windows},
+		{browser.Chrome, kernel.MacOS},
+		{browser.Firefox, kernel.Linux},
+		{browser.Firefox, kernel.Windows},
+		{browser.Firefox, kernel.MacOS},
+		{browser.Safari, kernel.MacOS},
+		{browser.TorBrowser, kernel.Linux},
+	}
+}
+
+// Table1Row holds closed- and open-world results for one configuration,
+// for both the loop-counting attack and the cache (sweep-counting) attack.
+type Table1Row struct {
+	Config          Table1Config
+	ClosedLoop      Result
+	ClosedSweep     Result
+	OpenLoop        Result
+	OpenSweep       Result
+	LoopVsSweepP    float64 // closed-world significance (§4.2 t-test)
+	significanceSet bool
+}
+
+func (r Table1Row) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-8s closed: loop %s vs sweep %s",
+		r.Config.Browser, r.Config.OS, r.ClosedLoop.Top1, r.ClosedSweep.Top1)
+	if r.OpenLoop.OpenWorld {
+		fmt.Fprintf(&b, " | open: loop sens %s non %s comb %s vs sweep comb %s",
+			r.OpenLoop.Sensitive, r.OpenLoop.NonSensitive, r.OpenLoop.Combined, r.OpenSweep.Combined)
+	}
+	if r.significanceSet {
+		fmt.Fprintf(&b, " | p=%.2g", r.LoopVsSweepP)
+	}
+	return b.String()
+}
+
+// Table1 reproduces "Classification accuracy obtained with JavaScript
+// loop-counting attacker" across browser×OS combinations. Open-world runs
+// are skipped when sc.OpenWorld is 0.
+func Table1(sc Scale) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, cfg := range Table1Configs() {
+		row := Table1Row{Config: cfg}
+		closedScale := sc
+		closedScale.OpenWorld = 0
+		base := Scenario{
+			OS:      cfg.OS,
+			Browser: cfg.Browser,
+		}
+
+		loop := base
+		loop.Name = fmt.Sprintf("t1/%s/%s/loop/closed", cfg.Browser, cfg.OS)
+		loop.Attack = LoopCounting
+		res, err := RunExperiment(loop, closedScale, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.ClosedLoop = res
+
+		sweep := base
+		sweep.Name = fmt.Sprintf("t1/%s/%s/sweep/closed", cfg.Browser, cfg.OS)
+		sweep.Attack = SweepCounting
+		res, err = RunExperiment(sweep, closedScale, nil)
+		if err != nil {
+			return nil, err
+		}
+		row.ClosedSweep = res
+
+		if tt, err := CompareSignificance(row.ClosedLoop, row.ClosedSweep); err == nil {
+			row.LoopVsSweepP = tt.P
+			row.significanceSet = true
+		}
+
+		if sc.OpenWorld > 0 {
+			loopOpen := loop
+			loopOpen.Name = fmt.Sprintf("t1/%s/%s/loop/open", cfg.Browser, cfg.OS)
+			res, err = RunExperiment(loopOpen, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			row.OpenLoop = res
+
+			sweepOpen := sweep
+			sweepOpen.Name = fmt.Sprintf("t1/%s/%s/sweep/open", cfg.Browser, cfg.OS)
+			res, err = RunExperiment(sweepOpen, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			row.OpenSweep = res
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Row is one cell group of Table 2: an attack under a noise source.
+type Table2Row struct {
+	Attack AttackKind
+	Noise  string
+	Result Result
+}
+
+func (r Table2Row) String() string {
+	return fmt.Sprintf("%-15s %-16s %s", r.Attack, r.Noise, r.Result.Top1)
+}
+
+// Table2 reproduces "Classification accuracy ... in the presence of
+// different sources of noise": loop- and sweep-counting under no noise,
+// cache-sweep noise, and interrupt noise, all on Chrome/Linux (§4.3 runs
+// this controlled comparison on a single machine).
+func Table2(sc Scale) ([]Table2Row, error) {
+	sc.OpenWorld = 0
+	var rows []Table2Row
+	for _, kind := range []AttackKind{LoopCounting, SweepCounting} {
+		for _, noise := range []string{"none", "cache-sweep", "interrupt"} {
+			scn := Scenario{
+				Name:    fmt.Sprintf("t2/%s/%s", kind, noise),
+				OS:      kernel.Linux,
+				Browser: browser.Chrome,
+				Attack:  kind,
+			}
+			switch noise {
+			case "cache-sweep":
+				scn.CacheNoise = true
+			case "interrupt":
+				scn.InterruptNoise = true
+			}
+			res, err := RunExperiment(scn, sc, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{Attack: kind, Noise: noise, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// Table3Row is one isolation-ladder step.
+type Table3Row struct {
+	Mechanism string
+	Result    Result
+}
+
+func (r Table3Row) String() string {
+	return fmt.Sprintf("%-28s top1 %s top5 %s", r.Mechanism, r.Result.Top1, r.Result.Top5)
+}
+
+// Table3 reproduces "Classification accuracy obtained with Python
+// loop-counting attacker under various isolation mechanisms". Each step
+// adds one mechanism to all previous ones (§5.1).
+func Table3(sc Scale) ([]Table3Row, error) {
+	sc.OpenWorld = 0
+	base := Scenario{
+		OS:      kernel.Linux,
+		Browser: browser.Chrome, // victim browser; attacker is native Python
+		Attack:  LoopCounting,
+		Variant: attack.Python,
+		Timer:   func(uint64) clockface.Timer { return clockface.Python() },
+	}
+	steps := []struct {
+		name  string
+		apply func(*Scenario)
+	}{
+		{"default", func(s *Scenario) {}},
+		{"+ disable frequency scaling", func(s *Scenario) { s.Isolation.FixedFreqGHz = 2.4 }},
+		{"+ pin to separate cores", func(s *Scenario) { s.Isolation.PinCores = true }},
+		{"+ remove IRQ interrupts", func(s *Scenario) { s.Isolation.RemoveIRQs = true }},
+		{"+ run in separate VMs", func(s *Scenario) { s.Isolation.SeparateVMs = true }},
+	}
+	var rows []Table3Row
+	scn := base
+	for i, st := range steps {
+		st.apply(&scn)
+		scn.Name = fmt.Sprintf("t3/%d-%s", i, st.name)
+		res, err := RunExperiment(scn, sc, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{Mechanism: st.name, Result: res})
+	}
+	return rows, nil
+}
+
+// Table4Row is one timer-defense evaluation.
+type Table4Row struct {
+	Timer    string
+	DeltaMS  float64
+	PeriodMS float64
+	Result   Result
+}
+
+func (r Table4Row) String() string {
+	return fmt.Sprintf("%-10s Δ=%gms P=%gms top1 %s top5 %s",
+		r.Timer, r.DeltaMS, r.PeriodMS, r.Result.Top1, r.Result.Top5)
+}
+
+// Table4 reproduces "Classification accuracy obtained with Python
+// loop-counting attacker with different timers": Chrome's jittered timer,
+// a Tor-style 100 ms quantized timer, and the paper's randomized timer at
+// P ∈ {5, 100, 500} ms (§6.1).
+func Table4(sc Scale) ([]Table4Row, error) {
+	sc.OpenWorld = 0
+	base := Scenario{
+		OS:      kernel.Linux,
+		Browser: browser.Chrome,
+		Attack:  LoopCounting,
+		Variant: attack.Python,
+	}
+	type cfg struct {
+		name    string
+		deltaMS float64
+		period  sim.Duration
+		timer   TimerMaker
+	}
+	cfgs := []cfg{
+		{"jittered", 0.1, 5 * sim.Millisecond,
+			func(seed uint64) clockface.Timer { return clockface.NewJittered(100*sim.Microsecond, seed) }},
+		{"quantized", 100, 5 * sim.Millisecond,
+			func(uint64) clockface.Timer { return clockface.Quantized{Delta: 100 * sim.Millisecond} }},
+		{"randomized", 1, 5 * sim.Millisecond,
+			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
+		{"randomized", 1, 100 * sim.Millisecond,
+			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
+		{"randomized", 1, 500 * sim.Millisecond,
+			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
+	}
+	var rows []Table4Row
+	for i, c := range cfgs {
+		scn := base
+		scn.Name = fmt.Sprintf("t4/%d-%s-P%v", i, c.name, c.period)
+		scn.Timer = c.timer
+		scn.Period = c.period
+		res, err := RunExperiment(scn, sc, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{
+			Timer: c.name, DeltaMS: c.deltaMS,
+			PeriodMS: c.period.Milliseconds(), Result: res,
+		})
+	}
+	return rows, nil
+}
+
+// BackgroundNoiseResult holds §4.2's robustness experiment: the attack with
+// and without Slack + Spotify running (paper: 96.6 % → 93.4 %, "other
+// applications do not generate enough noise to have a significant impact").
+type BackgroundNoiseResult struct {
+	Quiet, Noisy Result
+}
+
+func (r BackgroundNoiseResult) String() string {
+	return fmt.Sprintf("quiet %s | with Slack+Spotify %s", r.Quiet.Top1, r.Noisy.Top1)
+}
+
+// BackgroundNoise runs the robustness experiment on Chrome/Linux.
+func BackgroundNoise(sc Scale) (BackgroundNoiseResult, error) {
+	sc.OpenWorld = 0
+	base := Scenario{
+		OS: kernel.Linux, Browser: browser.Chrome, Attack: LoopCounting,
+	}
+	quiet := base
+	quiet.Name = "bgnoise/quiet"
+	qr, err := RunExperiment(quiet, sc, nil)
+	if err != nil {
+		return BackgroundNoiseResult{}, err
+	}
+	noisy := base
+	noisy.Name = "bgnoise/slack-spotify"
+	noisy.BackgroundNoise = true
+	nr, err := RunExperiment(noisy, sc, nil)
+	if err != nil {
+		return BackgroundNoiseResult{}, err
+	}
+	return BackgroundNoiseResult{Quiet: qr, Noisy: nr}, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+// This file records the paper's published numbers so reports and tests can
+// compare measured values against them. All values are percent accuracies
+// unless noted. Source: Cook et al., ISCA 2022, Tables 1–4.
+
+// PaperTable1Row holds one browser×OS row of the paper's Table 1.
+type PaperTable1Row struct {
+	Browser, OS string
+	// Closed world top-1 (%) for the loop-counting attack and the cache
+	// (sweep-counting) attack of [65]. Zero means "not reported".
+	ClosedLoop, ClosedCache float64
+	// Open world combined accuracy (%).
+	OpenLoopCombined, OpenCacheCombined float64
+}
+
+// PaperTable1 is the paper's Table 1 (top-1 rows; the Tor top-5 row is
+// PaperTorTop5).
+var PaperTable1 = []PaperTable1Row{
+	{Browser: "chrome-92", OS: "linux", ClosedLoop: 96.6, ClosedCache: 91.4, OpenLoopCombined: 97.2, OpenCacheCombined: 86.4},
+	{Browser: "chrome-92", OS: "windows", ClosedLoop: 92.5, ClosedCache: 80.0, OpenLoopCombined: 94.5, OpenCacheCombined: 86.1},
+	{Browser: "chrome-92", OS: "macos", ClosedLoop: 94.4, ClosedCache: 0, OpenLoopCombined: 94.3, OpenCacheCombined: 0},
+	{Browser: "firefox-91", OS: "linux", ClosedLoop: 95.3, ClosedCache: 80.0, OpenLoopCombined: 96.4, OpenCacheCombined: 87.4},
+	{Browser: "firefox-91", OS: "windows", ClosedLoop: 91.9, ClosedCache: 87.7, OpenLoopCombined: 93.7, OpenCacheCombined: 87.7},
+	{Browser: "firefox-91", OS: "macos", ClosedLoop: 94.4, ClosedCache: 0, OpenLoopCombined: 95.0, OpenCacheCombined: 0},
+	{Browser: "safari-14", OS: "macos", ClosedLoop: 96.6, ClosedCache: 72.6, OpenLoopCombined: 96.7, OpenCacheCombined: 80.5},
+	{Browser: "tor-browser-10", OS: "linux", ClosedLoop: 49.8, ClosedCache: 46.7, OpenLoopCombined: 62.9, OpenCacheCombined: 62.9},
+}
+
+// PaperTorTop5 is Table 1's Tor Browser top-5 row.
+var PaperTorTop5 = PaperTable1Row{
+	Browser: "tor-browser-10", OS: "linux",
+	ClosedLoop: 86.4, ClosedCache: 71.9,
+	OpenLoopCombined: 90.7, OpenCacheCombined: 82.7,
+}
+
+// PaperTable2 maps (attack, noise) to the paper's Table 2 accuracy.
+var PaperTable2 = map[AttackKind]map[string]float64{
+	LoopCounting:  {"none": 95.7, "cache-sweep": 92.6, "interrupt": 62.0},
+	SweepCounting: {"none": 78.4, "cache-sweep": 76.2, "interrupt": 55.3},
+}
+
+// PaperTable3 lists the isolation ladder's top-1/top-5 accuracies in the
+// same order Table3() returns rows.
+var PaperTable3 = []struct {
+	Mechanism  string
+	Top1, Top5 float64
+}{
+	{"default", 95.2, 99.1},
+	{"+ disable frequency scaling", 94.2, 98.6},
+	{"+ pin to separate cores", 94.0, 98.3},
+	{"+ remove IRQ interrupts", 88.2, 97.3},
+	{"+ run in separate VMs", 91.6, 97.3},
+}
+
+// PaperTable4 lists the timer-defense accuracies in the same order
+// Table4() returns rows.
+var PaperTable4 = []struct {
+	Timer      string
+	PeriodMS   float64
+	Top1, Top5 float64
+}{
+	{"jittered", 5, 96.6, 99.4},
+	{"quantized", 5, 86.0, 96.9},
+	{"randomized", 5, 1.0, 5.1},
+	{"randomized", 100, 1.9, 6.9},
+	{"randomized", 500, 5.2, 13.7},
+}
+
+// PaperFigure4Correlations maps the figure sites to the paper's reported
+// loop/sweep trace correlations (§3.3).
+var PaperFigure4Correlations = map[string]float64{
+	"nytimes.com": 0.87,
+	"amazon.com":  0.79,
+	"weather.com": 0.94,
+}
+
+// PaperGapAttribution is the §5.2 claim: the fraction of attacker execution
+// gaps ≥100 ns caused by interrupts.
+const PaperGapAttribution = 0.99
+
+// PaperNoiseSlowdown is the §6.2 page-load cost of the interrupt-noise
+// extension (3.12 s → 3.61 s).
+const PaperNoiseSlowdown = 3.61 / 3.12

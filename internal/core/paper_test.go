@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+func TestPaperReferenceConsistency(t *testing.T) {
+	if len(PaperTable1) != len(Table1Configs()) {
+		t.Fatalf("PaperTable1 has %d rows, harness has %d configs",
+			len(PaperTable1), len(Table1Configs()))
+	}
+	for i, cfg := range Table1Configs() {
+		if PaperTable1[i].Browser != cfg.Browser.String() || PaperTable1[i].OS != cfg.OS.String() {
+			t.Fatalf("row %d mismatch: paper %s/%s vs harness %v/%v",
+				i, PaperTable1[i].Browser, PaperTable1[i].OS, cfg.Browser, cfg.OS)
+		}
+	}
+	// The paper's headline: loop beats cache everywhere it reports both.
+	for _, r := range PaperTable1 {
+		if r.ClosedCache != 0 && r.ClosedLoop < r.ClosedCache {
+			t.Fatalf("%s/%s: paper rows transcribed wrong (loop %v < cache %v)",
+				r.Browser, r.OS, r.ClosedLoop, r.ClosedCache)
+		}
+	}
+	if PaperTable2[LoopCounting]["none"] <= PaperTable2[SweepCounting]["none"] {
+		t.Fatal("Table 2 transcription")
+	}
+	if len(PaperTable3) != 5 || len(PaperTable4) != 5 {
+		t.Fatal("ladder lengths")
+	}
+	// Table 3's VM anomaly: accuracy rises after adding VMs.
+	if PaperTable3[4].Top1 <= PaperTable3[3].Top1 {
+		t.Fatal("paper's VM step should increase accuracy")
+	}
+	// Table 4: randomized timer destroys the attack at every period.
+	for _, r := range PaperTable4[2:] {
+		if r.Top1 > 10 {
+			t.Fatalf("randomized row %v", r)
+		}
+	}
+	if len(PaperFigure4Correlations) != len(FigureSites) {
+		t.Fatal("figure sites")
+	}
+}

@@ -1,0 +1,143 @@
+// Package core is the experiment harness: it wires machines, browsers,
+// attackers, classifiers, and defenses into the paper's experiments and
+// regenerates every table and figure at a configurable scale.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/clockface"
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// AttackKind selects the attacker program.
+type AttackKind uint8
+
+// Attack kinds under evaluation.
+const (
+	LoopCounting AttackKind = iota
+	SweepCounting
+)
+
+func (k AttackKind) String() string {
+	if k == SweepCounting {
+		return "sweep-counting"
+	}
+	return "loop-counting"
+}
+
+// TimerMaker builds a per-trace secure timer from a seed. Stateful timers
+// (randomized) must be fresh per trace.
+type TimerMaker func(seed uint64) clockface.Timer
+
+// Scenario is one experimental configuration: a (browser, OS, attack,
+// defense, isolation) point from one of the paper's tables.
+type Scenario struct {
+	Name    string
+	OS      kernel.OS
+	Browser browser.Browser
+	Attack  AttackKind
+	Variant attack.Variant
+
+	// Timer overrides the browser timer when set (native attackers,
+	// Table 4 defenses).
+	Timer TimerMaker
+	// Period is P from Figure 2 (default 5 ms).
+	Period sim.Duration
+	// TraceDuration overrides the browser's default trace length.
+	TraceDuration sim.Duration
+	// Dilation overrides the browser's page-load dilation when nonzero.
+	Dilation float64
+	// VisitJitter overrides the browser's per-visit variance scale when
+	// nonzero (Tor's circuit noise).
+	VisitJitter float64
+
+	Isolation       kernel.Isolation
+	SoftirqPolicy   *interrupt.SoftirqPolicy
+	BackgroundNoise bool
+	// InterruptNoise enables the §6.2 spurious-interrupt countermeasure.
+	InterruptNoise bool
+	// CacheNoise enables the cache-sweep countermeasure of [65].
+	CacheNoise bool
+}
+
+// normalize fills defaults and validates.
+func (s *Scenario) normalize() error {
+	if s.Name == "" {
+		return fmt.Errorf("core: scenario needs a name")
+	}
+	if s.Variant.IterCycles <= 0 {
+		s.Variant = attack.JS
+	}
+	if s.Period <= 0 {
+		s.Period = 5 * sim.Millisecond
+	}
+	if s.TraceDuration <= 0 {
+		s.TraceDuration = s.Browser.TraceDuration()
+	}
+	if s.Dilation <= 0 {
+		s.Dilation = s.Browser.Dilation()
+	}
+	return nil
+}
+
+// timer builds the per-trace timer.
+func (s *Scenario) timer(seed uint64) clockface.Timer {
+	if s.Timer != nil {
+		return s.Timer(seed)
+	}
+	return s.Browser.Timer(seed)
+}
+
+// effectiveSampleSpacing estimates the real-time span of one trace sample
+// under the given timer: coarse timers stretch each "P-millisecond" sample
+// to their resolution (how Tor's 100 ms clock turns 5 ms periods into
+// 100 ms ones, §4.1).
+func effectiveSampleSpacing(tm clockface.Timer, period sim.Duration) sim.Duration {
+	res := period
+	switch t := tm.(type) {
+	case clockface.Quantized:
+		if t.Delta > res {
+			res = t.Delta
+		}
+	case clockface.PhaseQuantized:
+		if t.Delta > res {
+			res = t.Delta
+		}
+	case *clockface.Jittered:
+		if t.Delta > res {
+			res = t.Delta
+		}
+	case *clockface.Randomized:
+		// The secure clock advances in jumps of ~E[β]·Δ roughly every
+		// E[β] updates, so one period of ≥P takes about
+		// max(P, E[β]·Δ) wall time.
+		mean := sim.Duration((t.AlphaLo + t.AlphaHi) / 2)
+		if est := mean * t.Delta; est > res {
+			res = est
+		}
+	}
+	return res
+}
+
+// samples returns the trace length for this scenario.
+func (s *Scenario) samples(tm clockface.Timer) int {
+	n := int(s.TraceDuration / effectiveSampleSpacing(tm, s.Period))
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// traceSeed derives the deterministic seed for one (scenario, domain,
+// visit) trace.
+func traceSeed(root uint64, scenario, domain string, visit int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", root, scenario, domain, visit)
+	return h.Sum64()
+}

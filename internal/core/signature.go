@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/ebpf"
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/website"
+)
+
+// InterruptSignature is a site's characteristic interrupt mix: mean
+// per-second delivery rate of each type on the attacker's core during a
+// load. §5.2 observes that "different websites can even trigger different
+// types of non-movable interrupts" (weather.com's rescheduling IPIs and TLB
+// shootdowns) and leaves identifying the mechanisms as future work; this
+// helper quantifies the observation on the simulated substrate.
+type InterruptSignature [interrupt.NumTypes]float64
+
+// SignatureOf measures a site's signature averaged over `runs` loads of
+// `dur` each, on a default Linux machine.
+func SignatureOf(site string, runs int, dur sim.Duration, seed uint64) (InterruptSignature, error) {
+	var sig InterruptSignature
+	if runs < 1 {
+		return sig, fmt.Errorf("core: SignatureOf needs at least 1 run")
+	}
+	profile := website.ProfileFor(site)
+	for v := 0; v < runs; v++ {
+		m := kernel.NewMachine(kernel.Config{
+			OS:   kernel.Linux,
+			Seed: traceSeed(seed, "signature", site, v),
+		})
+		tracer := ebpf.Attach(m.Ctl, kernel.AttackerCore, 1<<20)
+		visit := profile.Instantiate(m.RNG().Fork("visit"))
+		browser.LoadPage(m, visit, 1.0, dur)
+		m.Eng.Run(dur)
+		for ty, n := range tracer.CountsByType {
+			sig[ty] += float64(n)
+		}
+	}
+	norm := float64(runs) * dur.Seconds()
+	for i := range sig {
+		sig[i] /= norm
+	}
+	return sig, nil
+}
+
+// Rate returns the per-second delivery rate of one type.
+func (s InterruptSignature) Rate(t interrupt.Type) float64 { return s[t] }
+
+// Distance is the L1 distance between two signatures' rate vectors.
+func (s InterruptSignature) Distance(o InterruptSignature) float64 {
+	var d float64
+	for i := range s {
+		diff := s[i] - o[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d
+}
+
+// String lists the nonzero rates, highest first.
+func (s InterruptSignature) String() string {
+	type row struct {
+		ty   interrupt.Type
+		rate float64
+	}
+	var rows []row
+	for i, r := range s {
+		if r > 0 {
+			rows = append(rows, row{interrupt.Type(i), r})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rate > rows[j].rate })
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %.1f/s", r.ty, r.rate)
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/browser"
+	"repro/internal/clockface"
+	"repro/internal/defense"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// ScenarioSpec is the JSON-serializable form of a Scenario, so experiment
+// configurations can live in files and be shared between runs (Scenario
+// itself holds function values and cannot be marshaled).
+type ScenarioSpec struct {
+	Name    string `json:"name"`
+	OS      string `json:"os"`      // linux | windows | macos
+	Browser string `json:"browser"` // chrome | firefox | safari | tor
+	Attack  string `json:"attack"`  // loop | sweep
+	Variant string `json:"variant"` // js | python | rust (default js)
+
+	// Timer overrides the browser timer: "" (browser default), precise,
+	// python, quantized:<ms>, jittered:<ms>, randomized.
+	Timer string `json:"timer,omitempty"`
+
+	PeriodMS        float64 `json:"period_ms,omitempty"`
+	TraceDurationS  float64 `json:"trace_duration_s,omitempty"`
+	VisitJitter     float64 `json:"visit_jitter,omitempty"`
+	FixedFreqGHz    float64 `json:"fixed_freq_ghz,omitempty"`
+	PinCores        bool    `json:"pin_cores,omitempty"`
+	RemoveIRQs      bool    `json:"remove_irqs,omitempty"`
+	SeparateVMs     bool    `json:"separate_vms,omitempty"`
+	BackgroundNoise bool    `json:"background_noise,omitempty"`
+	InterruptNoise  bool    `json:"interrupt_noise,omitempty"`
+	CacheNoise      bool    `json:"cache_noise,omitempty"`
+}
+
+// ParseScenarioSpec decodes a JSON spec.
+func ParseScenarioSpec(r io.Reader) (ScenarioSpec, error) {
+	var s ScenarioSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("core: scenario spec: %w", err)
+	}
+	return s, nil
+}
+
+// ToScenario resolves the spec into a runnable Scenario.
+func (s ScenarioSpec) ToScenario() (Scenario, error) {
+	scn := Scenario{Name: s.Name}
+	if scn.Name == "" {
+		return Scenario{}, fmt.Errorf("core: spec needs a name")
+	}
+
+	switch strings.ToLower(s.OS) {
+	case "", "linux":
+		scn.OS = kernel.Linux
+	case "windows":
+		scn.OS = kernel.Windows
+	case "macos":
+		scn.OS = kernel.MacOS
+	default:
+		return Scenario{}, fmt.Errorf("core: unknown os %q", s.OS)
+	}
+
+	switch strings.ToLower(s.Browser) {
+	case "", "chrome":
+		scn.Browser = browser.Chrome
+	case "firefox":
+		scn.Browser = browser.Firefox
+	case "safari":
+		scn.Browser = browser.Safari
+	case "tor":
+		scn.Browser = browser.TorBrowser
+	default:
+		return Scenario{}, fmt.Errorf("core: unknown browser %q", s.Browser)
+	}
+
+	switch strings.ToLower(s.Attack) {
+	case "", "loop":
+		scn.Attack = LoopCounting
+	case "sweep":
+		scn.Attack = SweepCounting
+	default:
+		return Scenario{}, fmt.Errorf("core: unknown attack %q", s.Attack)
+	}
+
+	switch strings.ToLower(s.Variant) {
+	case "", "js":
+		scn.Variant = attack.JS
+	case "python":
+		scn.Variant = attack.Python
+	case "rust":
+		scn.Variant = attack.Rust
+	default:
+		return Scenario{}, fmt.Errorf("core: unknown variant %q", s.Variant)
+	}
+
+	if s.Timer != "" {
+		tm, err := parseTimerSpec(s.Timer)
+		if err != nil {
+			return Scenario{}, err
+		}
+		scn.Timer = tm
+	}
+
+	if s.PeriodMS > 0 {
+		scn.Period = sim.Duration(s.PeriodMS * float64(sim.Millisecond))
+	}
+	if s.TraceDurationS > 0 {
+		scn.TraceDuration = sim.Duration(s.TraceDurationS * float64(sim.Second))
+	}
+	scn.VisitJitter = s.VisitJitter
+	scn.Isolation = kernel.Isolation{
+		FixedFreqGHz: s.FixedFreqGHz,
+		PinCores:     s.PinCores,
+		RemoveIRQs:   s.RemoveIRQs,
+		SeparateVMs:  s.SeparateVMs,
+	}
+	scn.BackgroundNoise = s.BackgroundNoise
+	scn.InterruptNoise = s.InterruptNoise
+	scn.CacheNoise = s.CacheNoise
+	return scn, nil
+}
+
+// parseTimerSpec resolves timer names like "quantized:100" (Δ in ms).
+func parseTimerSpec(spec string) (TimerMaker, error) {
+	name, arg, hasArg := strings.Cut(strings.ToLower(spec), ":")
+	ms := func() (sim.Duration, error) {
+		var v float64
+		if _, err := fmt.Sscanf(arg, "%g", &v); err != nil || v <= 0 {
+			return 0, fmt.Errorf("core: timer spec %q needs a positive ms argument", spec)
+		}
+		return sim.Duration(v * float64(sim.Millisecond)), nil
+	}
+	switch name {
+	case "precise":
+		return func(uint64) clockface.Timer { return clockface.Precise{} }, nil
+	case "python":
+		return func(uint64) clockface.Timer { return clockface.Python() }, nil
+	case "randomized":
+		return func(seed uint64) clockface.Timer {
+			return defense.RandomizedTimer(sim.NewStream(seed, "spec-timer"))
+		}, nil
+	case "quantized":
+		if !hasArg {
+			return nil, fmt.Errorf("core: timer spec %q needs Δ, e.g. quantized:100", spec)
+		}
+		d, err := ms()
+		if err != nil {
+			return nil, err
+		}
+		return func(uint64) clockface.Timer { return clockface.Quantized{Delta: d} }, nil
+	case "jittered":
+		if !hasArg {
+			return nil, fmt.Errorf("core: timer spec %q needs Δ, e.g. jittered:0.1", spec)
+		}
+		d, err := ms()
+		if err != nil {
+			return nil, err
+		}
+		return func(seed uint64) clockface.Timer { return clockface.NewJittered(d, seed) }, nil
+	default:
+		return nil, fmt.Errorf("core: unknown timer spec %q", spec)
+	}
+}

@@ -1,0 +1,126 @@
+package cpu
+
+import "repro/internal/sim"
+
+// Governor models dynamic frequency scaling (DVFS) as it affects a
+// CPU-hungry attacker. The attacker's spin loop keeps its core at maximum
+// single-core turbo (MaxGHz) when the rest of the package is idle; victim
+// activity on other cores pulls the package down to the all-core turbo
+// limit (MinGHz). Frequency therefore *drops* with victim load — a genuine
+// secondary side channel, and one the paper rules out as primary by fixing
+// the frequency with cpufreq-set (Table 3: only a 1% accuracy change).
+type Governor struct {
+	eng   *sim.Engine
+	cores []*Core
+
+	MinGHz float64
+	MaxGHz float64
+
+	fixed   bool
+	load    float64 // smoothed package load in [0, 1]
+	demand  float64 // peak demand reported since the last update
+	alpha   float64 // smoothing factor per update
+	stopped bool
+
+	// dither adds zero-mean noise to each retarget: real DVFS reacts to
+	// temperature, power budget, and background daemons, so the
+	// frequency channel is informative but not clean (Table 3 finds
+	// fixing it costs only ~1 % accuracy).
+	dither float64
+	rng    *sim.Stream
+}
+
+// GovernorConfig parameterizes a Governor.
+type GovernorConfig struct {
+	// MinGHz is the all-core turbo limit reached under full package load.
+	MinGHz float64
+	// MaxGHz is the single-core turbo the attacker enjoys when the
+	// package is otherwise idle.
+	MaxGHz float64
+	// UpdateEvery is the governor's reaction period (default 10 ms).
+	UpdateEvery sim.Duration
+	// Smoothing in (0,1]; higher reacts faster (default 0.35).
+	Smoothing float64
+	// DitherGHz is the std-dev of per-update frequency noise (0 = off).
+	DitherGHz float64
+	// Dither noise stream (required when DitherGHz > 0).
+	RNG *sim.Stream
+}
+
+// NewGovernor starts a governor controlling the given cores. It samples the
+// load reported through ReportLoad and retargets frequency periodically.
+func NewGovernor(eng *sim.Engine, cores []*Core, cfg GovernorConfig) *Governor {
+	if cfg.UpdateEvery <= 0 {
+		cfg.UpdateEvery = 10 * sim.Millisecond
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		cfg.Smoothing = 0.35
+	}
+	g := &Governor{
+		eng: eng, cores: cores,
+		MinGHz: cfg.MinGHz, MaxGHz: cfg.MaxGHz,
+		alpha:  cfg.Smoothing,
+		dither: cfg.DitherGHz,
+		rng:    cfg.RNG,
+	}
+	if g.dither > 0 && g.rng == nil {
+		panic("cpu: governor dither needs an RNG")
+	}
+	eng.Tick(0, cfg.UpdateEvery, func(sim.Time) {
+		if g.stopped {
+			return
+		}
+		g.load += g.alpha * (g.demand - g.load)
+		g.demand *= 0.5 // demand decays between reports
+		g.apply()
+	})
+	return g
+}
+
+// ReportLoad signals instantaneous demand in [0,1] (e.g. a victim CPU burst).
+// Multiple reports within an update window take the maximum.
+func (g *Governor) ReportLoad(demand float64) {
+	if demand > g.demand {
+		g.demand = demand
+	}
+}
+
+// Fix pins all cores at the given frequency, modelling `cpufreq-set`
+// (Table 3, "Disable frequency scaling").
+func (g *Governor) Fix(ghz float64) {
+	g.fixed = true
+	for _, c := range g.cores {
+		c.SetFreq(ghz)
+	}
+}
+
+// Fixed reports whether the governor has been pinned.
+func (g *Governor) Fixed() bool { return g.fixed }
+
+// Load returns the smoothed package load.
+func (g *Governor) Load() float64 { return g.load }
+
+func (g *Governor) apply() {
+	if g.fixed {
+		return
+	}
+	f := g.MaxGHz - (g.MaxGHz-g.MinGHz)*g.load
+	if g.dither > 0 {
+		f += g.rng.Normal(0, g.dither)
+		if f > g.MaxGHz {
+			f = g.MaxGHz
+		}
+		if f < g.MinGHz-2*g.dither {
+			f = g.MinGHz - 2*g.dither
+		}
+		if f <= 0.1 {
+			f = 0.1
+		}
+	}
+	for _, c := range g.cores {
+		c.SetFreq(f)
+	}
+}
+
+// Stop halts governor updates (used when tearing down a machine).
+func (g *Governor) Stop() { g.stopped = true }

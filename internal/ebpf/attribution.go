@@ -1,0 +1,120 @@
+package ebpf
+
+import (
+	"sort"
+
+	"repro/internal/interrupt"
+	"repro/internal/sim"
+)
+
+// Attribution joins attacker-observed gaps with kernel-side records.
+type Attribution struct {
+	TotalGaps     int
+	ExplainedGaps int
+	// GapLengthsByType collects, per interrupt type, the total length of
+	// every gap that contained at least one record of that type — the
+	// x-axis of Figure 6 ("the total gap length observed by the attacker
+	// rather than just the time spent processing that particular
+	// interrupt").
+	GapLengthsByType map[interrupt.Type][]sim.Duration
+	// Unexplained holds gaps with no overlapping kernel record (e.g.
+	// scheduler preemption, which has no interrupt tracepoint).
+	Unexplained []Gap
+}
+
+// ExplainedFraction reports the share of gaps attributed to interrupts —
+// the paper's ">99% of execution gaps longer than 100ns" claim.
+func (a Attribution) ExplainedFraction() float64 {
+	if a.TotalGaps == 0 {
+		return 0
+	}
+	return float64(a.ExplainedGaps) / float64(a.TotalGaps)
+}
+
+// Attribute matches each gap against the kernel records overlapping it.
+// Records and gaps must come from the same core and the same run; both are
+// on the shared monotonic clock, like the paper's eBPF tool and Rust
+// attacker.
+func Attribute(gaps []Gap, records []Record) Attribution {
+	recs := make([]Record, len(records))
+	copy(recs, records)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+
+	out := Attribution{
+		TotalGaps:        len(gaps),
+		GapLengthsByType: make(map[interrupt.Type][]sim.Duration),
+	}
+	ri := 0
+	for _, g := range gaps {
+		for ri < len(recs) && recs[ri].End < g.Start {
+			ri++
+		}
+		seen := make(map[interrupt.Type]bool)
+		explained := false
+		for j := ri; j < len(recs) && recs[j].Start < g.End; j++ {
+			if recs[j].End <= g.Start {
+				continue
+			}
+			explained = true
+			if !seen[recs[j].Type] {
+				seen[recs[j].Type] = true
+				out.GapLengthsByType[recs[j].Type] = append(out.GapLengthsByType[recs[j].Type], g.Duration())
+			}
+		}
+		if explained {
+			out.ExplainedGaps++
+		} else {
+			out.Unexplained = append(out.Unexplained, g)
+		}
+	}
+	return out
+}
+
+// InterruptTimeline buckets kernel records into fixed windows and reports
+// the fraction of each window spent in handlers, per interrupt type —
+// Figure 5's "% of time spent processing interrupts" series.
+func InterruptTimeline(records []Record, bucket sim.Duration, until sim.Time) map[interrupt.Type][]float64 {
+	if bucket <= 0 {
+		panic("ebpf: bucket must be positive")
+	}
+	n := int((until + bucket - 1) / bucket)
+	if n <= 0 {
+		return nil
+	}
+	out := make(map[interrupt.Type][]float64)
+	for _, r := range records {
+		series := out[r.Type]
+		if series == nil {
+			series = make([]float64, n)
+			out[r.Type] = series
+		}
+		// Spread the handler time across the buckets it overlaps.
+		start, end := r.Start, r.End
+		if end > until {
+			end = until
+		}
+		for b := start / bucket; b < (end+bucket-1)/bucket && int(b) < n; b++ {
+			lo := b * bucket
+			hi := lo + bucket
+			ov := minTime(end, hi) - maxTime(start, lo)
+			if ov > 0 {
+				series[b] += float64(ov) / float64(bucket)
+			}
+		}
+	}
+	return out
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package interrupt
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteProcInterrupts renders the controller's counters in the style of
+// Linux's /proc/interrupts. The paper's related work (§7.1) covers attacks
+// that read this file directly — which are easy to mitigate by restricting
+// the pseudo-file, unlike the timing channel this reproduction studies.
+func (c *Controller) WriteProcInterrupts(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%12s", ""); err != nil {
+		return err
+	}
+	for i := range c.cores {
+		if _, err := fmt.Fprintf(w, "%12s", fmt.Sprintf("CPU%d", i)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for t := Type(0); t < NumTypes; t++ {
+		if c.TotalCount(t) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%12s", t.String()); err != nil {
+			return err
+		}
+		for core := range c.cores {
+			if _, err := fmt.Fprintf(w, "%12d", c.Counts(t, core)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

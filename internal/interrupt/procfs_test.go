@@ -1,0 +1,49 @@
+package interrupt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWriteProcInterrupts(t *testing.T) {
+	eng, _, ctl := newRig(2, DefaultConfig())
+	ctl.StartTimerTicks()
+	ctl.RaiseIRQ(NetRX)
+	eng.Run(100 * sim.Millisecond)
+
+	var b strings.Builder
+	if err := ctl.WriteProcInterrupts(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"CPU0", "CPU1", "timer", "net-rx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Types never raised must be omitted.
+	if strings.Contains(out, "keyboard") {
+		t.Fatal("unraised type listed")
+	}
+}
+
+func TestWriteProcInterruptsWriterError(t *testing.T) {
+	_, _, ctl := newRig(1, DefaultConfig())
+	ctl.RaiseIRQ(USB)
+	w := &errWriter{}
+	if err := ctl.WriteProcInterrupts(w); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errTest }
+
+var errTest = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write error" }

@@ -1,0 +1,124 @@
+// Package interrupt models the interrupt subsystem the paper identifies as
+// the primary leakage source: device IRQs (movable), local timer interrupts,
+// inter-processor interrupts, softirqs, and IRQ work (all non-movable).
+//
+// Each interrupt type carries a handler-duration distribution; delivery
+// steals time from the target core's user task via the cpu package, and a
+// kernel-side event log feeds the ebpf package's gap attribution.
+package interrupt
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Type enumerates the interrupt types relevant to the attack (§2.2, §5.3).
+type Type uint8
+
+// Interrupt types. Device IRQs are movable with irqbalance; everything else
+// is non-movable — the paper's key security observation.
+const (
+	NetRX Type = iota
+	Graphics
+	SATA
+	USB
+	Keyboard
+	LocalTimer
+	IPIResched
+	IPITLB
+	SoftNetRX
+	SoftTimer
+	SoftSched
+	SoftTasklet
+	SoftRCU
+	IRQWork
+	NumTypes
+)
+
+// Category groups interrupt types per the paper's taxonomy.
+type Category uint8
+
+// Categories of interrupt mechanism.
+const (
+	CatDevice Category = iota
+	CatLocal
+	CatIPI
+	CatSoftirq
+	CatIRQWork
+)
+
+// Spec describes a type's routing and timing characteristics.
+type Spec struct {
+	Name     string
+	Category Category
+	// Movable reports whether irqbalance can steer this type away from a
+	// core. Only device IRQs are movable (§5.1).
+	Movable bool
+	// Cause is the cpu steal-accounting label.
+	Cause cpu.Cause
+	// Handler duration: log-normal with the given median and sigma,
+	// clamped to [Min, Max]. These are the *handler body* costs; the
+	// kernel-entry overhead (Meltdown mitigations) is added per entry.
+	Median sim.Duration
+	Sigma  float64
+	Min    sim.Duration
+	Max    sim.Duration
+}
+
+var specs = [NumTypes]Spec{
+	NetRX:    {Name: "net-rx", Category: CatDevice, Movable: true, Cause: cpu.CauseDeviceIRQ, Median: 3000, Sigma: 0.45, Min: 800, Max: 20000},
+	Graphics: {Name: "graphics", Category: CatDevice, Movable: true, Cause: cpu.CauseDeviceIRQ, Median: 2500, Sigma: 0.40, Min: 600, Max: 25000},
+	SATA:     {Name: "sata", Category: CatDevice, Movable: true, Cause: cpu.CauseDeviceIRQ, Median: 3000, Sigma: 0.35, Min: 800, Max: 25000},
+	USB:      {Name: "usb", Category: CatDevice, Movable: true, Cause: cpu.CauseDeviceIRQ, Median: 1500, Sigma: 0.30, Min: 400, Max: 12000},
+	// Keyboard cost covers the whole input pipeline the IRQ kicks off on
+	// its core (HID report parsing, input-core processing, evdev wakeup),
+	// which is what keystroke-timing attackers actually observe (§7.1).
+	Keyboard:   {Name: "keyboard", Category: CatDevice, Movable: true, Cause: cpu.CauseDeviceIRQ, Median: 20000, Sigma: 0.25, Min: 8000, Max: 60000},
+	LocalTimer: {Name: "timer", Category: CatLocal, Movable: false, Cause: cpu.CauseTimer, Median: 800, Sigma: 0.35, Min: 300, Max: 10000},
+	IPIResched: {Name: "resched", Category: CatIPI, Movable: false, Cause: cpu.CauseIPIResched, Median: 700, Sigma: 0.30, Min: 250, Max: 6000},
+	IPITLB:     {Name: "tlb-shootdown", Category: CatIPI, Movable: false, Cause: cpu.CauseIPITLB, Median: 900, Sigma: 0.30, Min: 300, Max: 8000},
+	SoftNetRX:  {Name: "softirq-net-rx", Category: CatSoftirq, Movable: false, Cause: cpu.CauseSoftirq, Median: 10000, Sigma: 0.50, Min: 1500, Max: 60000},
+	SoftTimer:  {Name: "softirq-timer", Category: CatSoftirq, Movable: false, Cause: cpu.CauseSoftirq, Median: 1000, Sigma: 0.40, Min: 300, Max: 15000},
+	SoftSched:  {Name: "softirq-sched", Category: CatSoftirq, Movable: false, Cause: cpu.CauseSoftirq, Median: 800, Sigma: 0.35, Min: 250, Max: 10000},
+	SoftTasklet: {Name: "softirq-tasklet", Category: CatSoftirq, Movable: false, Cause: cpu.CauseSoftirq,
+		Median: 1500, Sigma: 0.45, Min: 400, Max: 20000},
+	SoftRCU: {Name: "softirq-rcu", Category: CatSoftirq, Movable: false, Cause: cpu.CauseSoftirq, Median: 600, Sigma: 0.30, Min: 200, Max: 6000},
+	IRQWork: {Name: "irq-work", Category: CatIRQWork, Movable: false, Cause: cpu.CauseIRQWork, Median: 4000, Sigma: 0.20, Min: 1500, Max: 15000},
+}
+
+// SpecOf returns the spec for a type.
+func SpecOf(t Type) Spec {
+	if int(t) >= int(NumTypes) {
+		panic(fmt.Sprintf("interrupt: invalid type %d", t))
+	}
+	return specs[t]
+}
+
+func (t Type) String() string {
+	if int(t) < int(NumTypes) {
+		return specs[t].Name
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Movable reports whether irqbalance can steer this interrupt type.
+func (t Type) Movable() bool { return SpecOf(t).Movable }
+
+// Category returns the type's mechanism category.
+func (t Type) CategoryOf() Category { return SpecOf(t).Category }
+
+// Event is a kernel-side record of one handler execution, the analogue of
+// what the paper's eBPF tool logs at irq/softirq entry and exit tracepoints.
+type Event struct {
+	Type       Type
+	Core       int
+	Start, End sim.Time
+}
+
+// Duration returns the handler execution span.
+func (e Event) Duration() sim.Duration { return e.End - e.Start }
+
+// Observer receives kernel-side events as they complete.
+type Observer func(Event)

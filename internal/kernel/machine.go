@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/interrupt"
+	"repro/internal/sim"
+)
+
+// Core roles on the simulated 4-core machine (no hyper-threading, like the
+// paper's Table 3 test box).
+const (
+	IRQPinCore   = 0 // irqbalance target when RemoveIRQs is set
+	AttackerCore = 1
+	VictimCore   = 2
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	OS        OS
+	Cores     int // default 4
+	Seed      uint64
+	Isolation Isolation
+	// CacheGeometry defaults to the 8 MiB/16-way Core-i5 LLC.
+	CacheGeometry cache.Geometry
+	// SoftirqPolicy overrides the OS default when set (ablation knob).
+	SoftirqPolicy *interrupt.SoftirqPolicy
+	// BackgroundNoise runs the Slack/Spotify-style noise apps (Table 1's
+	// robustness experiment).
+	BackgroundNoise bool
+}
+
+// Machine is one simulated computer.
+type Machine struct {
+	Eng   *sim.Engine
+	Cores []*cpu.Core
+	Ctl   *interrupt.Controller
+	Gov   *cpu.Governor
+	Cache *cache.OccupancyModel
+	Sched *Scheduler
+
+	cfg Config
+	rng *sim.Stream
+}
+
+// NewMachine builds and boots a machine: cores running, timer ticks firing,
+// baseline background activity scheduled, isolation mechanisms applied.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Cores < 3 {
+		panic("kernel: need at least 3 cores for the attacker/victim/IRQ layout")
+	}
+	if cfg.CacheGeometry == (cache.Geometry{}) {
+		cfg.CacheGeometry = cache.DefaultGeometry
+	}
+	prof := profileFor(cfg.OS)
+	if cfg.SoftirqPolicy != nil {
+		prof.irq.SoftirqPolicy = *cfg.SoftirqPolicy
+	}
+
+	eng := sim.NewEngine()
+	rng := sim.NewStream(cfg.Seed, "machine")
+	cores := make([]*cpu.Core, cfg.Cores)
+	startGHz := 2.5 // single-core turbo: the attacker spins from t=0
+	if cfg.Isolation.FixedFreqGHz > 0 {
+		startGHz = cfg.Isolation.FixedFreqGHz
+	}
+	for i := range cores {
+		cores[i] = cpu.NewCore(eng, i, startGHz)
+	}
+	gov := cpu.NewGovernor(eng, cores, cpu.GovernorConfig{
+		MinGHz: 2.48, MaxGHz: 2.5,
+		DitherGHz: 0.01, RNG: rng.Fork("governor-dither"),
+	})
+	if cfg.Isolation.FixedFreqGHz > 0 {
+		gov.Fix(cfg.Isolation.FixedFreqGHz)
+	}
+
+	ctl := interrupt.NewController(eng, cores, rng.Fork("irq"), prof.irq)
+	if cfg.Isolation.RemoveIRQs {
+		ctl.SetRouting(interrupt.RoutePinned, IRQPinCore)
+	}
+	if cfg.Isolation.SeparateVMs {
+		ctl.SetVM(AttackerCore, true)
+		ctl.SetVM(VictimCore, true)
+	}
+	ctl.StartTimerTicks()
+
+	m := &Machine{
+		Eng: eng, Cores: cores, Ctl: ctl, Gov: gov,
+		Cache: cache.NewOccupancyModel(cfg.CacheGeometry),
+		cfg:   cfg, rng: rng,
+	}
+	m.Sched = newScheduler(m, cfg.Isolation.PinCores)
+	m.startBaseline(prof)
+	if cfg.BackgroundNoise {
+		m.startNoiseApps()
+	}
+	return m
+}
+
+// Attacker returns the core the attacker task runs on.
+func (m *Machine) Attacker() *cpu.Core { return m.Cores[AttackerCore] }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// RNG exposes the machine's root random stream for components that must
+// share its determinism (page loads, attackers).
+func (m *Machine) RNG() *sim.Stream { return m.rng }
+
+// startBaseline schedules the idle machine's background interrupt activity:
+// disk flushes, USB polling, RCU and timer softirqs. Rates come from the OS
+// profile.
+func (m *Machine) startBaseline(prof osProfile) {
+	irqRNG := m.rng.Fork("baseline-irq")
+	softRNG := m.rng.Fork("baseline-soft")
+	var nextIRQ func()
+	nextIRQ = func() {
+		mean := sim.Duration(float64(sim.Second) / prof.baselineIRQRate)
+		m.Eng.After(irqRNG.DurExp(mean), func() {
+			if irqRNG.Bernoulli(0.6) {
+				m.Ctl.RaiseIRQ(interrupt.SATA)
+			} else {
+				m.Ctl.RaiseIRQ(interrupt.USB)
+			}
+			nextIRQ()
+		})
+	}
+	nextIRQ()
+
+	var nextSoft func()
+	nextSoft = func() {
+		mean := sim.Duration(float64(sim.Second) / prof.baselineSoftRate)
+		m.Eng.After(softRNG.DurExp(mean), func() {
+			if softRNG.Bernoulli(0.5) {
+				m.Ctl.DeferSoftirq(interrupt.SoftRCU, VictimCore)
+			} else {
+				m.Ctl.DeferSoftirq(interrupt.SoftTimer, VictimCore)
+			}
+			nextSoft()
+		})
+	}
+	nextSoft()
+}
+
+// startNoiseApps models Slack plus Spotify playing music (§4.2): steady
+// network traffic, audio-timer softirqs, and periodic CPU wakeups.
+func (m *Machine) startNoiseApps() {
+	rng := m.rng.Fork("noise-apps")
+	var nextNet func()
+	nextNet = func() {
+		m.Eng.After(rng.DurExp(8*sim.Millisecond), func() {
+			m.Ctl.RaiseIRQ(interrupt.NetRX)
+			nextNet()
+		})
+	}
+	nextNet()
+	// Audio pipeline: 10 ms period timer work plus occasional bursts.
+	m.Eng.Tick(0, 10*sim.Millisecond, func(sim.Time) {
+		m.Ctl.DeferSoftirq(interrupt.SoftTimer, VictimCore)
+	})
+	var nextBurst func()
+	nextBurst = func() {
+		m.Eng.After(rng.DurExp(120*sim.Millisecond), func() {
+			m.Sched.VictimBurst(rng.DurUniform(200*sim.Microsecond, 1200*sim.Microsecond), 0.3)
+			nextBurst()
+		})
+	}
+	nextBurst()
+}
+
+// CPUStat is a /proc/stat-style per-core time breakdown.
+type CPUStat struct {
+	Core   int
+	User   sim.Duration
+	Kernel sim.Duration
+	// ByCause splits kernel time by steal cause, indexed by cpu.Cause.
+	ByCause [cpu.NumCauses]sim.Duration
+}
+
+// CPUStats returns each core's time split as of the engine's current
+// clock — the machine's /proc/stat analogue.
+func (m *Machine) CPUStats() []CPUStat {
+	now := m.Eng.Now()
+	out := make([]CPUStat, len(m.Cores))
+	for i, c := range m.Cores {
+		st := CPUStat{Core: i, Kernel: c.StolenAt(now)}
+		st.User = sim.Duration(now) - st.Kernel
+		for cause := cpu.Cause(0); int(cause) < cpu.NumCauses; cause++ {
+			st.ByCause[cause] = c.StolenByCause(cause)
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package kernel assembles the simulated machine: cores, interrupt
+// controller, frequency governor, scheduler, cache, and the isolation knobs
+// the paper's Table 3 sweeps (cpufreq-set, taskset, irqbalance, VMs).
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/interrupt"
+)
+
+// OS selects an operating-system personality. The paper evaluates Linux
+// (Ubuntu 20.04), Windows 10, and macOS Big Sur; they differ in tick rate,
+// handler costs, and deferred-work policies, which shifts absolute attack
+// accuracy a few points (Table 1).
+type OS uint8
+
+// Supported operating systems.
+const (
+	Linux OS = iota
+	Windows
+	MacOS
+)
+
+func (o OS) String() string {
+	switch o {
+	case Linux:
+		return "linux"
+	case Windows:
+		return "windows"
+	case MacOS:
+		return "macos"
+	default:
+		return fmt.Sprintf("os(%d)", uint8(o))
+	}
+}
+
+// osProfile captures per-OS simulation parameters.
+type osProfile struct {
+	irq interrupt.Config
+	// baselineIRQRate is the idle machine's device-interrupt rate per
+	// second (disk flushes, USB polling).
+	baselineIRQRate float64
+	// baselineSoftRate is the idle deferred-softirq rate per second.
+	baselineSoftRate float64
+}
+
+func profileFor(os OS) osProfile {
+	switch os {
+	case Windows:
+		cfg := interrupt.DefaultConfig()
+		cfg.TickHZ = 100
+		cfg.CostScale = 1.25 // DPC processing is heavier
+		return osProfile{irq: cfg, baselineIRQRate: 80, baselineSoftRate: 60}
+	case MacOS:
+		cfg := interrupt.DefaultConfig()
+		cfg.TickHZ = 100
+		cfg.CostScale = 0.95
+		return osProfile{irq: cfg, baselineIRQRate: 50, baselineSoftRate: 45}
+	default: // Linux
+		cfg := interrupt.DefaultConfig()
+		cfg.TickHZ = 250
+		cfg.CostScale = 1.0
+		return osProfile{irq: cfg, baselineIRQRate: 40, baselineSoftRate: 50}
+	}
+}
+
+// Isolation describes the Table 3 ladder of mechanisms. Each configuration
+// in the paper adds one more mechanism; callers compose them freely here.
+type Isolation struct {
+	// FixedFreqGHz pins all cores at this frequency when nonzero
+	// (cpufreq-set; paper uses 2.5 GHz on a 1.6–3 GHz part).
+	FixedFreqGHz float64
+	// PinCores places the attacker on core 1 and the victim on core 2
+	// (taskset), removing scheduling contention.
+	PinCores bool
+	// RemoveIRQs binds all movable device IRQs to core 0 (irqbalance),
+	// leaving only non-movable interrupts on the attacker's core.
+	RemoveIRQs bool
+	// SeparateVMs runs attacker and victim in two virtual machines,
+	// amplifying every interrupt delivered to their cores.
+	SeparateVMs bool
+}

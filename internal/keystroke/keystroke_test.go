@@ -1,0 +1,168 @@
+package keystroke
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attack"
+	"repro/internal/clockface"
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestSynthesizeTyping(t *testing.T) {
+	rng := sim.NewStream(1, "type")
+	ks := SynthesizeTyping("hunter2", sim.Second, rng)
+	if len(ks) != 7 {
+		t.Fatalf("keystrokes = %d", len(ks))
+	}
+	if ks[0].At != sim.Second {
+		t.Fatal("first keystroke time")
+	}
+	for i := 1; i < len(ks); i++ {
+		gap := ks[i].At - ks[i-1].At
+		if gap < 30*sim.Millisecond || gap > sim.Second {
+			t.Fatalf("implausible inter-key gap %v", gap)
+		}
+	}
+	if ks[3].Char != 't' {
+		t.Fatal("characters not preserved")
+	}
+}
+
+func TestDigraphLatencyDeterministicAndVaried(t *testing.T) {
+	if digraphLatency('a', 'b') != digraphLatency('a', 'b') {
+		t.Fatal("nondeterministic")
+	}
+	varied := false
+	for _, pair := range [][2]byte{{'a', 'b'}, {'q', 'p'}, {'t', 'h'}} {
+		if digraphLatency(pair[0], pair[1]) != digraphLatency('a', 'b') {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("all digraphs identical")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("median odd")
+	}
+	if median(nil) != 0 {
+		t.Fatal("median empty")
+	}
+}
+
+func TestDetectSyntheticDips(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = 1000
+	}
+	vals[50], vals[120], vals[121] = 900, 880, 890
+	tr := trace.Trace{Period: sim.Millisecond, Values: vals}
+	got := Detect(tr, 0.05)
+	if len(got) != 2 {
+		t.Fatalf("detections = %d (%v), want 2 dip groups", len(got), got)
+	}
+	if got[0] != 50*sim.Millisecond || got[1] != 120*sim.Millisecond {
+		t.Fatalf("detection times %v", got)
+	}
+	if Detect(trace.Trace{}, 0.05) != nil || Detect(tr, 0) != nil {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	iv := Intervals([]sim.Time{0, 100 * sim.Millisecond, 250 * sim.Millisecond})
+	if len(iv) != 2 || iv[0] != 100 || iv[1] != 150 {
+		t.Fatalf("intervals = %v", iv)
+	}
+	if Intervals([]sim.Time{1}) != nil {
+		t.Fatal("single time")
+	}
+}
+
+func TestMatchScoring(t *testing.T) {
+	truth := []Keystroke{{At: sim.Second}, {At: 2 * sim.Second}}
+	det := []sim.Time{sim.Second + 2*sim.Millisecond, 5 * sim.Second}
+	recall, precision := Match(truth, det, 10*sim.Millisecond)
+	if recall != 0.5 {
+		t.Fatalf("recall = %v", recall)
+	}
+	if precision != 0.5 {
+		t.Fatalf("precision = %v", precision)
+	}
+	r, p := Match(nil, det, 0)
+	if r != 0 || p != 0 {
+		t.Fatal("empty truth")
+	}
+	r, _ = Match(truth, nil, 0)
+	if r != 0 {
+		t.Fatal("no detections should give zero recall")
+	}
+}
+
+// End to end: a native attacker whose core services the keyboard IRQ line
+// recovers most keystrokes; moving the line to another core (the §7.1
+// mitigation — "handling the keyboard interrupts on a different core")
+// defeats it.
+func TestEndToEndAttackAndMitigation(t *testing.T) {
+	run := func(keyboardCore int) Result {
+		m := kernel.NewMachine(kernel.Config{
+			OS: kernel.Linux, Seed: 42,
+			Isolation: kernel.Isolation{PinCores: true, FixedFreqGHz: 2.4},
+		})
+		m.Ctl.SetIRQAffinity(interrupt.Keyboard, keyboardCore)
+		ks := SynthesizeTyping("correct horse battery", 500*sim.Millisecond, m.RNG().Fork("text"))
+		Inject(m, ks)
+		tr, err := attack.CollectLoop(m, attack.Config{
+			Timer:   clockface.Rust(),
+			Period:  sim.Millisecond,
+			Samples: 6000,
+			Variant: attack.Rust,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := Detect(tr, 0.01)
+		recall, precision := Match(ks, det, 2*sim.Millisecond)
+		return Result{Keystrokes: len(ks), Detections: len(det), Recall: recall, Precision: precision}
+	}
+	attackRes := run(kernel.AttackerCore)
+	if attackRes.Recall < 0.8 {
+		t.Fatalf("attack recall = %v, want >= 0.8 (%v)", attackRes.Recall, attackRes)
+	}
+	mitigated := run(kernel.IRQPinCore)
+	if mitigated.Recall > 0.25 {
+		t.Fatalf("mitigation failed: recall still %v (%v)", mitigated.Recall, mitigated)
+	}
+	if attackRes.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+// Property: synthesized keystroke times are strictly increasing for any
+// text and seed.
+func TestSynthesizeMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		ks := SynthesizeTyping(string(raw), 0, sim.NewStream(seed, "p"))
+		for i := 1; i < len(ks); i++ {
+			if ks[i].At <= ks[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

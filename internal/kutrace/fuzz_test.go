@@ -1,0 +1,30 @@
+package kutrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks the compact binary decoder never panics or
+// over-allocates on corrupt input, and that valid output re-encodes.
+func FuzzDecode(f *testing.F) {
+	tl := &Timeline{Cores: 2, Until: 1000, Spans: []Span{
+		{Core: 0, Start: 10, End: 20, Cause: 1},
+		{Core: 1, Start: 15, End: 40, Cause: 3},
+	}}
+	var seed bytes.Buffer
+	_ = tl.Encode(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("KUt1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := Decode(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("accepted timeline failed to encode: %v", err)
+		}
+	})
+}

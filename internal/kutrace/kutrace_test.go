@@ -1,0 +1,156 @@
+package kutrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/browser"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/website"
+)
+
+func capturedMachine(t *testing.T) (*kernel.Machine, *Timeline) {
+	t.Helper()
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: 3})
+	for _, c := range m.Cores {
+		c.RecordSteals(true)
+	}
+	visit := website.ProfileFor("amazon.com").Instantiate(m.RNG().Fork("v"))
+	browser.LoadPage(m, visit, 1.0, 3*sim.Second)
+	m.Eng.Run(3 * sim.Second)
+	return m, Capture(m, 3*sim.Second)
+}
+
+func TestCaptureSorted(t *testing.T) {
+	_, tl := capturedMachine(t)
+	if len(tl.Spans) < 1000 {
+		t.Fatalf("spans = %d, want a busy timeline", len(tl.Spans))
+	}
+	for i := 1; i < len(tl.Spans); i++ {
+		if tl.Spans[i].Start < tl.Spans[i-1].Start {
+			t.Fatal("spans not sorted")
+		}
+	}
+	if tl.Cores != 4 {
+		t.Fatalf("cores = %d", tl.Cores)
+	}
+}
+
+func TestBreakdownConservation(t *testing.T) {
+	m, tl := capturedMachine(t)
+	for core := 0; core < tl.Cores; core++ {
+		b := tl.BreakdownFor(core)
+		if b.User+b.Kernel != sim.Duration(tl.Until) {
+			t.Fatalf("core %d: user %v + kernel %v != %v", core, b.User, b.Kernel, tl.Until)
+		}
+		// Kernel time must match the core's stolen-time accounting up
+		// to clipping: a handler in flight at the capture horizon is
+		// clipped by Capture but pre-booked in StolenAt.
+		got, want := b.Kernel, m.Cores[core].StolenAt(m.Eng.Now())
+		if d := want - got; d < 0 || d > 200*sim.Microsecond {
+			t.Fatalf("core %d: breakdown kernel %v vs stolen %v", core, got, want)
+		}
+		if b.String() == "" {
+			t.Fatal("empty report")
+		}
+	}
+	// Attacker core must show timer + softirq causes (non-movable).
+	b := tl.BreakdownFor(kernel.AttackerCore)
+	if b.ByCause[cpu.CauseTimer] == 0 || b.ByCause[cpu.CauseSoftirq] == 0 {
+		t.Fatalf("missing causes: %v", b.ByCause)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, tl := capturedMachine(t)
+	var buf bytes.Buffer
+	if err := tl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Compactness: a few bytes per span.
+	if perSpan := float64(buf.Len()) / float64(len(tl.Spans)); perSpan > 12 {
+		t.Fatalf("encoding too fat: %.1f bytes/span", perSpan)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cores != tl.Cores || got.Until != tl.Until || len(got.Spans) != len(tl.Spans) {
+		t.Fatal("header mismatch")
+	}
+	for i := range tl.Spans {
+		if got.Spans[i] != tl.Spans[i] {
+			t.Fatalf("span %d mismatch: %+v vs %+v", i, got.Spans[i], tl.Spans[i])
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("xx"),
+		[]byte("BAD1aaaaaaa"),
+		append([]byte("KUt1"), 0xff), // truncated varints
+	}
+	for i, c := range cases {
+		if _, err := Decode(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary small timelines exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tl := &Timeline{Cores: 4, Until: 1 << 40}
+		var at sim.Time
+		for i, r := range raw {
+			at += sim.Time(r)
+			tl.Spans = append(tl.Spans, Span{
+				Core:  i % 4,
+				Start: at,
+				End:   at + sim.Duration(r%977) + 1,
+				Cause: cpu.Cause(uint8(r) % uint8(cpu.NumCauses)),
+			})
+		}
+		var buf bytes.Buffer
+		if err := tl.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Spans) != len(tl.Spans) {
+			return false
+		}
+		for i := range tl.Spans {
+			if got.Spans[i] != tl.Spans[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	_, tl := capturedMachine(t)
+	out := tl.Render(60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no kernel time rendered")
+	}
+	if tl.Render(0) != "" {
+		t.Fatal("zero width")
+	}
+}

@@ -1,0 +1,536 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Classifier is the interface the experiment harness trains and evaluates.
+// Scores returns one score per class (higher = more likely); top-k
+// accuracy is computed from the full vector.
+type Classifier interface {
+	Name() string
+	Fit(train *trace.Dataset) error
+	Scores(values []float64) []float64
+}
+
+// Preprocessor standardizes traces before classification: average-downsample
+// to a fixed length, optional smoothing, then z-score.
+type Preprocessor struct {
+	// TargetLen is the post-downsampling length (0 = keep original).
+	TargetLen int
+	// Smooth applies a centered moving average of this window (0 = off).
+	Smooth int
+}
+
+// Apply transforms one trace's values.
+func (p Preprocessor) Apply(values []float64) []float64 {
+	out := values
+	if p.TargetLen > 0 && len(values) > p.TargetLen {
+		factor := (len(values) + p.TargetLen - 1) / p.TargetLen
+		out = trace.Downsample(out, factor)
+	} else {
+		cp := make([]float64, len(out))
+		copy(cp, out)
+		out = cp
+	}
+	if p.Smooth > 1 {
+		out = stats.MovingAverage(out, p.Smooth)
+	}
+	return stats.ZScore(out)
+}
+
+// DefaultPreprocessor matches the harness defaults: ~300-point traces,
+// lightly smoothed.
+var DefaultPreprocessor = Preprocessor{TargetLen: 300, Smooth: 3}
+
+// cosine returns the cosine similarity of two equal-length vectors.
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// NearestCentroid classifies by cosine similarity to per-class mean
+// traces. On z-scored inputs this is correlation matching — fast and
+// surprisingly strong on occupancy-style traces.
+type NearestCentroid struct {
+	Prep Preprocessor
+
+	centroids [][]float64
+}
+
+// Name identifies the classifier.
+func (nc *NearestCentroid) Name() string { return "nearest-centroid" }
+
+// Fit computes per-class centroids.
+func (nc *NearestCentroid) Fit(train *trace.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	sums := make([][]float64, train.NumClasses)
+	counts := make([]int, train.NumClasses)
+	for _, t := range train.Traces {
+		v := nc.Prep.Apply(t.Values)
+		if sums[t.Label] == nil {
+			sums[t.Label] = make([]float64, len(v))
+		}
+		if len(sums[t.Label]) != len(v) {
+			return errors.New("ml: inconsistent preprocessed lengths")
+		}
+		for i, x := range v {
+			sums[t.Label][i] += x
+		}
+		counts[t.Label]++
+	}
+	nc.centroids = make([][]float64, train.NumClasses)
+	for c := range sums {
+		if counts[c] == 0 {
+			continue // class absent from this fold; scores stay 0
+		}
+		for i := range sums[c] {
+			sums[c][i] /= float64(counts[c])
+		}
+		nc.centroids[c] = sums[c]
+	}
+	return nil
+}
+
+// Scores returns cosine similarity to each class centroid.
+func (nc *NearestCentroid) Scores(values []float64) []float64 {
+	v := nc.Prep.Apply(values)
+	out := make([]float64, len(nc.centroids))
+	for c, cen := range nc.centroids {
+		if cen == nil {
+			out[c] = math.Inf(-1)
+			continue
+		}
+		out[c] = cosine(v, cen)
+	}
+	return out
+}
+
+// KNN is a k-nearest-neighbour classifier with cosine similarity and
+// similarity-weighted voting.
+type KNN struct {
+	K    int
+	Prep Preprocessor
+
+	features [][]float64
+	labels   []int
+	classes  int
+}
+
+// Name identifies the classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("knn-%d", k.K) }
+
+// Fit memorizes the training set.
+func (k *KNN) Fit(train *trace.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.classes = train.NumClasses
+	k.features = k.features[:0]
+	k.labels = k.labels[:0]
+	for _, t := range train.Traces {
+		k.features = append(k.features, k.Prep.Apply(t.Values))
+		k.labels = append(k.labels, t.Label)
+	}
+	return nil
+}
+
+// Scores returns similarity-weighted votes among the K nearest neighbours.
+func (k *KNN) Scores(values []float64) []float64 {
+	v := k.Prep.Apply(values)
+	type hit struct {
+		sim   float64
+		label int
+	}
+	hits := make([]hit, len(k.features))
+	for i, f := range k.features {
+		hits[i] = hit{cosine(v, f), k.labels[i]}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].sim > hits[j].sim })
+	out := make([]float64, k.classes)
+	n := k.K
+	if n > len(hits) {
+		n = len(hits)
+	}
+	for _, h := range hits[:n] {
+		out[h.label] += h.sim
+	}
+	return out
+}
+
+// LogReg is multinomial logistic regression trained with Adam — the
+// harness's compromise between the paper's deep model and experiment
+// runtime.
+type LogReg struct {
+	Prep   Preprocessor
+	Epochs int
+	Seed   uint64
+
+	model *Sequential
+	inLen int
+}
+
+// Name identifies the classifier.
+func (lr *LogReg) Name() string { return "logreg" }
+
+// Fit trains softmax regression on preprocessed traces.
+func (lr *LogReg) Fit(train *trace.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	if lr.Epochs <= 0 {
+		lr.Epochs = 30
+	}
+	var X []*Tensor
+	var y []int
+	for _, t := range train.Traces {
+		v := lr.Prep.Apply(t.Values)
+		X = append(X, FromSeries(v))
+		y = append(y, t.Label)
+	}
+	lr.inLen = X[0].Rows
+	rng := newSeedStream(lr.Seed, "logreg")
+	lr.model = &Sequential{Layers: []Layer{NewDense(rng, lr.inLen, train.NumClasses)}}
+	return lr.model.Fit(X, y, nil, nil, FitConfig{
+		Epochs: lr.Epochs, BatchSize: 16, LR: 0.01, Seed: lr.Seed,
+	})
+}
+
+// Scores returns class probabilities.
+func (lr *LogReg) Scores(values []float64) []float64 {
+	v := lr.Prep.Apply(values)
+	x := FromSeries(v)
+	if x.Rows != lr.inLen {
+		// Pad/trim to the trained length (defensive; lengths are
+		// normally fixed per experiment).
+		d := make([]float64, lr.inLen)
+		copy(d, v)
+		x = FromSeries(d)
+	}
+	return lr.model.Predict(x)
+}
+
+// CNNLSTM wraps PaperNet as a Classifier: the paper's architecture at a
+// configurable scale.
+type CNNLSTM struct {
+	Prep    Preprocessor
+	Filters int
+	Hidden  int
+	Dropout float64
+	Epochs  int
+	// LR defaults to the paper's 0.001; small scaled-down nets train
+	// faster with a slightly higher rate.
+	LR   float64
+	Seed uint64
+
+	model *Sequential
+	inLen int
+}
+
+// Name identifies the classifier.
+func (c *CNNLSTM) Name() string { return "cnn-lstm" }
+
+// Fit trains the network with a 90/10 train/validation split and early
+// stopping, mirroring §4.1.
+func (c *CNNLSTM) Fit(train *trace.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	if c.Filters <= 0 {
+		c.Filters = 16
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.7
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 15
+	}
+	if c.LR <= 0 {
+		c.LR = 0.001
+	}
+	var X []*Tensor
+	var y []int
+	for _, t := range train.Traces {
+		X = append(X, FromSeries(c.Prep.Apply(t.Values)))
+		y = append(y, t.Label)
+	}
+	c.inLen = X[0].Rows
+	model, err := PaperNet(c.Seed, c.inLen, train.NumClasses, c.Filters, c.Hidden, c.Dropout)
+	if err != nil {
+		return err
+	}
+	c.model = model
+	// Hold out ~10% for early stopping (validation set, §4.1).
+	rng := newSeedStream(c.Seed, "cnnlstm-split")
+	idx := rng.Perm(len(X))
+	cut := len(X) / 10
+	if cut == 0 {
+		cut = 1
+	}
+	var trX, vaX []*Tensor
+	var trY, vaY []int
+	for i, j := range idx {
+		if i < cut {
+			vaX = append(vaX, X[j])
+			vaY = append(vaY, y[j])
+		} else {
+			trX = append(trX, X[j])
+			trY = append(trY, y[j])
+		}
+	}
+	return c.model.Fit(trX, trY, vaX, vaY, FitConfig{
+		Epochs: c.Epochs, BatchSize: 16, LR: c.LR,
+		Patience: 4, MinEpochs: 8, Seed: c.Seed,
+	})
+}
+
+// Scores returns class probabilities.
+func (c *CNNLSTM) Scores(values []float64) []float64 {
+	v := c.Prep.Apply(values)
+	if len(v) != c.inLen {
+		d := make([]float64, c.inLen)
+		copy(d, v)
+		v = d
+	}
+	return c.model.Predict(FromSeries(v))
+}
+
+// SpectralCentroid is a nearest-centroid classifier over FFT magnitude
+// features (see SpectralPreprocessor): shift-invariant fingerprinting for
+// workloads with unstable onsets such as Tor page loads.
+type SpectralCentroid struct {
+	Prep SpectralPreprocessor
+
+	centroids [][]float64
+}
+
+// Name identifies the classifier.
+func (s *SpectralCentroid) Name() string { return "spectral-centroid" }
+
+// Fit computes per-class spectral centroids.
+func (s *SpectralCentroid) Fit(train *trace.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	sums := make([][]float64, train.NumClasses)
+	counts := make([]int, train.NumClasses)
+	for _, t := range train.Traces {
+		v := s.Prep.Apply(t.Values)
+		if sums[t.Label] == nil {
+			sums[t.Label] = make([]float64, len(v))
+		}
+		if len(sums[t.Label]) != len(v) {
+			return errors.New("ml: inconsistent spectral lengths")
+		}
+		for i, x := range v {
+			sums[t.Label][i] += x
+		}
+		counts[t.Label]++
+	}
+	s.centroids = make([][]float64, train.NumClasses)
+	for c := range sums {
+		if counts[c] == 0 {
+			continue
+		}
+		for i := range sums[c] {
+			sums[c][i] /= float64(counts[c])
+		}
+		s.centroids[c] = sums[c]
+	}
+	return nil
+}
+
+// Scores returns cosine similarity to each class's spectral centroid.
+func (s *SpectralCentroid) Scores(values []float64) []float64 {
+	v := s.Prep.Apply(values)
+	out := make([]float64, len(s.centroids))
+	for c, cen := range s.centroids {
+		if cen == nil {
+			out[c] = math.Inf(-1)
+			continue
+		}
+		out[c] = cosine(v, cen)
+	}
+	return out
+}
+
+// AlignedCentroid is a nearest-centroid classifier that searches a window
+// of time shifts when scoring: page-load onsets jitter between visits
+// (networks, Tor circuits), and the best-shift correlation recovers most
+// of what fixed alignment loses.
+type AlignedCentroid struct {
+	Prep Preprocessor
+	// MaxShift is the half-width of the shift search, in (preprocessed)
+	// samples. Default 12.
+	MaxShift int
+
+	centroids [][]float64
+}
+
+// Name identifies the classifier.
+func (ac *AlignedCentroid) Name() string { return "aligned-centroid" }
+
+// Fit computes per-class centroids.
+func (ac *AlignedCentroid) Fit(train *trace.Dataset) error {
+	if ac.MaxShift <= 0 {
+		ac.MaxShift = 12
+	}
+	inner := &NearestCentroid{Prep: ac.Prep}
+	if err := inner.Fit(train); err != nil {
+		return err
+	}
+	ac.centroids = inner.centroids
+	return nil
+}
+
+// Scores returns, per class, the maximum cosine similarity over all shifts
+// of the test vector within ±MaxShift samples (zero-padded).
+func (ac *AlignedCentroid) Scores(values []float64) []float64 {
+	v := ac.Prep.Apply(values)
+	out := make([]float64, len(ac.centroids))
+	shifted := make([]float64, len(v))
+	for c, cen := range ac.centroids {
+		if cen == nil {
+			out[c] = math.Inf(-1)
+			continue
+		}
+		best := math.Inf(-1)
+		for s := -ac.MaxShift; s <= ac.MaxShift; s++ {
+			shiftInto(shifted, v, s)
+			if sim := cosine(shifted, cen); sim > best {
+				best = sim
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// shiftInto writes src shifted by s samples into dst (zero padding).
+func shiftInto(dst, src []float64, s int) {
+	for i := range dst {
+		j := i - s
+		if j >= 0 && j < len(src) {
+			dst[i] = src[j]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// OpenWorldCentroid handles the open-world setting (§4.1): sensitive sites
+// get per-class centroids, and the heterogeneous "non-sensitive" class is
+// recognized by *rejection* — a trace whose best sensitive-centroid
+// similarity falls below a learned threshold is classified non-sensitive.
+// The threshold is chosen on the training set to maximize combined
+// accuracy, which is what a softmax over 101 classes learns implicitly.
+type OpenWorldCentroid struct {
+	Prep Preprocessor
+	// NSLabel is the non-sensitive class index (= number of sensitive
+	// classes).
+	NSLabel int
+
+	inner NearestCentroid
+	tau   float64
+}
+
+// Name identifies the classifier.
+func (ow *OpenWorldCentroid) Name() string { return "open-world-centroid" }
+
+// Fit trains sensitive centroids and calibrates the rejection threshold.
+func (ow *OpenWorldCentroid) Fit(train *trace.Dataset) error {
+	if err := train.Validate(); err != nil {
+		return err
+	}
+	if ow.NSLabel <= 0 || ow.NSLabel != train.NumClasses-1 {
+		return fmt.Errorf("ml: OpenWorldCentroid needs NSLabel == NumClasses-1, got %d vs %d",
+			ow.NSLabel, train.NumClasses-1)
+	}
+	sensitive := &trace.Dataset{NumClasses: ow.NSLabel}
+	for _, t := range train.Traces {
+		if t.Label < ow.NSLabel {
+			sensitive.Append(t)
+		}
+	}
+	ow.inner = NearestCentroid{Prep: ow.Prep}
+	if err := ow.inner.Fit(sensitive); err != nil {
+		return err
+	}
+
+	// Calibrate τ: for each training trace record (bestScore, correct?,
+	// isNS), then sweep thresholds at every observed score.
+	type obs struct {
+		score   float64
+		correct bool // argmax == label, for sensitive traces
+		ns      bool
+	}
+	var all []obs
+	for _, t := range train.Traces {
+		s := ow.inner.Scores(t.Values)
+		best := stats.ArgMax(s)
+		o := obs{score: s[best], ns: t.Label == ow.NSLabel}
+		if !o.ns {
+			o.correct = best == t.Label
+		}
+		all = append(all, o)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+	// Accepting everything (τ below min) as the starting point.
+	bestCorrect := 0
+	for _, o := range all {
+		if !o.ns && o.correct {
+			bestCorrect++
+		}
+	}
+	// Walking τ upward past observation i rejects it: a sensitive trace
+	// loses its correctness; an NS trace becomes correct.
+	correct := bestCorrect
+	ow.tau = math.Inf(-1)
+	for i, o := range all {
+		if o.ns {
+			correct++
+		} else if o.correct {
+			correct--
+		}
+		if correct > bestCorrect {
+			bestCorrect = correct
+			// τ between this score and the next.
+			if i+1 < len(all) {
+				ow.tau = (o.score + all[i+1].score) / 2
+			} else {
+				ow.tau = o.score + 1e-9
+			}
+		}
+	}
+	return nil
+}
+
+// Scores returns sensitive-centroid similarities with the rejection
+// threshold appended as the non-sensitive class score: argmax lands on
+// NSLabel exactly when every sensitive similarity is below τ.
+func (ow *OpenWorldCentroid) Scores(values []float64) []float64 {
+	s := ow.inner.Scores(values)
+	return append(s, ow.tau)
+}

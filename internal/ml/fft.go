@@ -1,0 +1,126 @@
+package ml
+
+import "math"
+
+// This file provides frequency-domain features. Shusterman et al. explored
+// Fourier representations of occupancy traces; the spectral magnitude is
+// shift-invariant, which helps when page-load onsets jitter between visits
+// (Tor). Implemented from scratch: an iterative radix-2 FFT.
+
+// FFT computes the in-place radix-2 Cooley–Tukey transform of the complex
+// input given as separate real/imag slices whose length must be a power of
+// two.
+func FFT(re, im []float64) {
+	n := len(re)
+	if n != len(im) {
+		panic("ml: FFT re/im length mismatch")
+	}
+	if n&(n-1) != 0 {
+		panic("ml: FFT length must be a power of two")
+	}
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				aRe, aIm := re[start+k], im[start+k]
+				bRe := re[start+k+half]*curRe - im[start+k+half]*curIm
+				bIm := re[start+k+half]*curIm + im[start+k+half]*curRe
+				re[start+k], im[start+k] = aRe+bRe, aIm+bIm
+				re[start+k+half], im[start+k+half] = aRe-bRe, aIm-bIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SpectralMagnitude returns the magnitude spectrum of xs (zero-padded to a
+// power of two), keeping only the first half (real input symmetry) and
+// dropping the DC bin, so the result is mean-invariant and shift-robust.
+func SpectralMagnitude(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	n := nextPow2(len(xs))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, xs)
+	FFT(re, im)
+	out := make([]float64, n/2)
+	for i := 1; i <= n/2; i++ {
+		out[i-1] = math.Hypot(re[i], im[i])
+	}
+	return out
+}
+
+// SpectralPreprocessor converts traces to log-magnitude spectra before
+// z-scoring: downsample → magnitude spectrum → log1p → z-score. The log
+// compresses the dominant low-frequency energy so mid-band structure
+// (render loops, ad beacons) contributes.
+type SpectralPreprocessor struct {
+	// TargetLen is the pre-FFT downsampling length (0 = no downsample).
+	TargetLen int
+}
+
+// Apply transforms one trace's values into spectral features.
+func (p SpectralPreprocessor) Apply(values []float64) []float64 {
+	base := Preprocessor{TargetLen: p.TargetLen}.Apply(values)
+	mag := SpectralMagnitude(base)
+	for i, v := range mag {
+		mag[i] = math.Log1p(v)
+	}
+	return zscoreInPlace(mag)
+}
+
+func zscoreInPlace(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)))
+	if sd == 0 {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return xs
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - mean) / sd
+	}
+	return xs
+}

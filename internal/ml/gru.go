@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// GRU is a gated recurrent unit returning the final hidden state — a
+// lighter alternative to the paper's LSTM with comparable accuracy on
+// occupancy-style traces at ~3/4 the parameters.
+type GRU struct {
+	In, Hidden int
+
+	wx *Param // 3H × In (gate order: r, z, n)
+	wh *Param // 3H × H
+	bx *Param // 3H
+	bh *Param // 3H (separate bias inside the reset gate, torch-style)
+
+	x     *Tensor
+	gates []float64 // T × 3H post-activation (r, z, n)
+	hpre  []float64 // T × H: Wh_n·h_{t-1}+bh_n (needed for backward)
+	hids  []float64 // T × H
+}
+
+// NewGRU creates a GRU with Glorot-initialized weights.
+func NewGRU(rng *sim.Stream, in, hidden int) *GRU {
+	g := &GRU{In: in, Hidden: hidden,
+		wx: newParam(3 * hidden * in),
+		wh: newParam(3 * hidden * hidden),
+		bx: newParam(3 * hidden),
+		bh: newParam(3 * hidden),
+	}
+	initUniform(rng, g.wx.W, in, hidden)
+	initUniform(rng, g.wh.W, hidden, hidden)
+	return g
+}
+
+// Forward runs the recurrence:
+//
+//	r = σ(Wxr·x + bxr + Whr·h + bhr)
+//	z = σ(Wxz·x + bxz + Whz·h + bhz)
+//	n = tanh(Wxn·x + bxn + r∘(Whn·h + bhn))
+//	h' = (1−z)∘n + z∘h
+func (g *GRU) Forward(x *Tensor, train bool) *Tensor {
+	if x.Cols != g.In {
+		panic("ml: GRU input channel mismatch")
+	}
+	T, H := x.Rows, g.Hidden
+	g.x = x
+	g.gates = make([]float64, T*3*H)
+	g.hpre = make([]float64, T*H)
+	g.hids = make([]float64, T*H)
+
+	hPrev := make([]float64, H)
+	xa := make([]float64, 3*H) // Wx·x + bx
+	ha := make([]float64, 3*H) // Wh·h + bh
+	for t := 0; t < T; t++ {
+		xrow := x.Row(t)
+		for j := 0; j < 3*H; j++ {
+			s := g.bx.W[j]
+			wrow := g.wx.W[j*g.In : (j+1)*g.In]
+			for i, xv := range xrow {
+				s += wrow[i] * xv
+			}
+			xa[j] = s
+			s = g.bh.W[j]
+			hrow := g.wh.W[j*H : (j+1)*H]
+			for i, hv := range hPrev {
+				s += hrow[i] * hv
+			}
+			ha[j] = s
+		}
+		gt := g.gates[t*3*H : (t+1)*3*H]
+		hRow := g.hids[t*H : (t+1)*H]
+		hp := g.hpre[t*H : (t+1)*H]
+		for h := 0; h < H; h++ {
+			r := sigmoid(xa[h] + ha[h])
+			z := sigmoid(xa[H+h] + ha[H+h])
+			hp[h] = ha[2*H+h]
+			n := math.Tanh(xa[2*H+h] + r*hp[h])
+			gt[h], gt[H+h], gt[2*H+h] = r, z, n
+			hRow[h] = (1-z)*n + z*hPrev[h]
+		}
+		hPrev = hRow
+	}
+	out := NewTensor(1, H)
+	copy(out.Data, hPrev)
+	return out
+}
+
+// Backward runs BPTT from the final-state gradient and returns dL/dx.
+func (g *GRU) Backward(grad *Tensor) *Tensor {
+	T, H := g.x.Rows, g.Hidden
+	dx := NewTensor(g.x.Rows, g.x.Cols)
+	dh := make([]float64, H)
+	copy(dh, grad.Data)
+	dxa := make([]float64, 3*H)
+	dha := make([]float64, 3*H)
+
+	for t := T - 1; t >= 0; t-- {
+		gt := g.gates[t*3*H : (t+1)*3*H]
+		hp := g.hpre[t*H : (t+1)*H]
+		var hPrev []float64
+		if t > 0 {
+			hPrev = g.hids[(t-1)*H : t*H]
+		} else {
+			hPrev = make([]float64, H)
+		}
+		dhPrev := make([]float64, H)
+		for h := 0; h < H; h++ {
+			r, z, n := gt[h], gt[H+h], gt[2*H+h]
+			dn := dh[h] * (1 - z)
+			dz := dh[h] * (hPrev[h] - n)
+			dhPrev[h] += dh[h] * z
+
+			dnPre := dn * (1 - n*n)
+			dxa[2*H+h] = dnPre
+			dha[2*H+h] = dnPre * r
+			dr := dnPre * hp[h]
+
+			drPre := dr * r * (1 - r)
+			dxa[h] = drPre
+			dha[h] = drPre
+
+			dzPre := dz * z * (1 - z)
+			dxa[H+h] = dzPre
+			dha[H+h] = dzPre
+		}
+		xrow := g.x.Row(t)
+		dxrow := dx.Row(t)
+		for j := 0; j < 3*H; j++ {
+			if d := dxa[j]; d != 0 {
+				g.bx.G[j] += d
+				wrow := g.wx.W[j*g.In : (j+1)*g.In]
+				wgrow := g.wx.G[j*g.In : (j+1)*g.In]
+				for i, xv := range xrow {
+					wgrow[i] += d * xv
+					dxrow[i] += d * wrow[i]
+				}
+			}
+			if d := dha[j]; d != 0 {
+				g.bh.G[j] += d
+				hrow := g.wh.W[j*H : (j+1)*H]
+				hgrow := g.wh.G[j*H : (j+1)*H]
+				for i, hv := range hPrev {
+					hgrow[i] += d * hv
+					dhPrev[i] += d * hrow[i]
+				}
+			}
+		}
+		dh = dhPrev
+	}
+	return dx
+}
+
+// Params returns the GRU's learnables.
+func (g *GRU) Params() []*Param { return []*Param{g.wx, g.wh, g.bx, g.bh} }

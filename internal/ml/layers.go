@@ -1,0 +1,309 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Layer is one differentiable stage. Forward consumes the previous
+// activation; Backward consumes dL/d(output) and returns dL/d(input),
+// accumulating parameter gradients. Layers are stateful between Forward and
+// Backward (single-sample training; minibatches accumulate gradients across
+// samples before an optimizer step).
+type Layer interface {
+	Forward(x *Tensor, train bool) *Tensor
+	Backward(grad *Tensor) *Tensor
+	Params() []*Param
+}
+
+// initUniform fills w with Glorot-style uniform values.
+func initUniform(rng *sim.Stream, w []float64, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = rng.Uniform(-limit, limit)
+	}
+}
+
+// Dense is a fully connected layer over the flattened input.
+type Dense struct {
+	In, Out int
+	w       *Param // Out×In
+	b       *Param
+
+	x *Tensor // saved input (flattened view)
+}
+
+// NewDense creates a Dense layer with Glorot initialization.
+func NewDense(rng *sim.Stream, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam(in * out), b: newParam(out)}
+	initUniform(rng, d.w.W, in, out)
+	return d
+}
+
+// Forward computes y = Wx + b on the flattened input.
+func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
+	if x.Rows*x.Cols != d.In {
+		panic("ml: Dense input size mismatch")
+	}
+	d.x = x
+	out := NewTensor(1, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.b.W[o]
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		for i, xv := range x.Data {
+			s += row[i] * xv
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dx.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(d.x.Rows, d.x.Cols)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		if g == 0 {
+			continue
+		}
+		d.b.G[o] += g
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		grow := d.w.G[o*d.In : (o+1)*d.In]
+		for i, xv := range d.x.Data {
+			grow[i] += g * xv
+			dx.Data[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's learnables.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// ReLU is an elementwise rectifier.
+type ReLU struct{ mask []bool }
+
+// Forward zeroes negatives.
+func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward passes gradient through positive entries.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no learnables.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Conv1D convolves along time (valid padding) with the given stride.
+type Conv1D struct {
+	In, Out, Kernel, Stride int
+	w                       *Param // Out × (Kernel*In)
+	b                       *Param
+
+	x    *Tensor
+	outT int
+}
+
+// NewConv1D creates a 1-D convolution layer.
+func NewConv1D(rng *sim.Stream, in, out, kernel, stride int) *Conv1D {
+	if kernel <= 0 || stride <= 0 {
+		panic("ml: Conv1D kernel and stride must be positive")
+	}
+	c := &Conv1D{In: in, Out: out, Kernel: kernel, Stride: stride,
+		w: newParam(out * kernel * in), b: newParam(out)}
+	initUniform(rng, c.w.W, kernel*in, out)
+	return c
+}
+
+func (c *Conv1D) outLen(inT int) int {
+	if inT < c.Kernel {
+		return 0
+	}
+	return (inT-c.Kernel)/c.Stride + 1
+}
+
+// Forward computes the valid cross-correlation.
+func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
+	if x.Cols != c.In {
+		panic("ml: Conv1D channel mismatch")
+	}
+	c.x = x
+	c.outT = c.outLen(x.Rows)
+	if c.outT == 0 {
+		panic("ml: Conv1D input shorter than kernel")
+	}
+	out := NewTensor(c.outT, c.Out)
+	kIn := c.Kernel * c.In
+	for t := 0; t < c.outT; t++ {
+		base := t * c.Stride * c.In
+		window := x.Data[base : base+kIn]
+		orow := out.Row(t)
+		for o := 0; o < c.Out; o++ {
+			s := c.b.W[o]
+			wrow := c.w.W[o*kIn : (o+1)*kIn]
+			for i, xv := range window {
+				s += wrow[i] * xv
+			}
+			orow[o] = s
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW, db and returns dx.
+func (c *Conv1D) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(c.x.Rows, c.x.Cols)
+	kIn := c.Kernel * c.In
+	for t := 0; t < c.outT; t++ {
+		base := t * c.Stride * c.In
+		window := c.x.Data[base : base+kIn]
+		dwindow := dx.Data[base : base+kIn]
+		grow := grad.Row(t)
+		for o := 0; o < c.Out; o++ {
+			g := grow[o]
+			if g == 0 {
+				continue
+			}
+			c.b.G[o] += g
+			wrow := c.w.W[o*kIn : (o+1)*kIn]
+			wgrow := c.w.G[o*kIn : (o+1)*kIn]
+			for i, xv := range window {
+				wgrow[i] += g * xv
+				dwindow[i] += g * wrow[i]
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's learnables.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// MaxPool1D pools over non-overlapping time windows per channel.
+type MaxPool1D struct {
+	Size int
+
+	argmax []int
+	inT    int
+	cols   int
+}
+
+// Forward takes the per-window per-channel maximum.
+func (m *MaxPool1D) Forward(x *Tensor, train bool) *Tensor {
+	if m.Size <= 0 {
+		panic("ml: MaxPool1D size must be positive")
+	}
+	outT := x.Rows / m.Size
+	if outT == 0 {
+		outT = 1 // degenerate: single window over everything available
+	}
+	m.inT, m.cols = x.Rows, x.Cols
+	out := NewTensor(outT, x.Cols)
+	m.argmax = make([]int, outT*x.Cols)
+	for t := 0; t < outT; t++ {
+		lo := t * m.Size
+		hi := lo + m.Size
+		if hi > x.Rows || t == outT-1 {
+			hi = x.Rows
+		}
+		for c := 0; c < x.Cols; c++ {
+			best, bestIdx := math.Inf(-1), lo
+			for r := lo; r < hi; r++ {
+				if v := x.At(r, c); v > best {
+					best, bestIdx = v, r
+				}
+			}
+			out.Set(t, c, best)
+			m.argmax[t*x.Cols+c] = bestIdx
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool1D) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(m.inT, m.cols)
+	for t := 0; t < grad.Rows; t++ {
+		for c := 0; c < grad.Cols; c++ {
+			dx.Set(m.argmax[t*grad.Cols+c], c, dx.At(m.argmax[t*grad.Cols+c], c)+grad.At(t, c))
+		}
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no learnables.
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability Rate during training
+// (inverted dropout: survivors are scaled by 1/(1-Rate)).
+type Dropout struct {
+	Rate float64
+	rng  *sim.Stream
+
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with its own random stream.
+func NewDropout(rng *sim.Stream, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("ml: dropout rate must be in [0,1)")
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the mask in training mode, identity at inference.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	out := x.Clone()
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return out
+	}
+	d.mask = make([]float64, len(x.Data))
+	scale := 1 / (1 - d.Rate)
+	for i := range x.Data {
+		if d.rng.Float64() < d.Rate {
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *Tensor) *Tensor {
+	out := grad.Clone()
+	if d.mask == nil {
+		return out
+	}
+	for i := range out.Data {
+		out.Data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil; dropout has no learnables.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// LSTM is a single-layer long short-term memory network returning the final
+// hidden state (the shape the paper's classifier uses before its dense
+// softmax layer).
+type LSTM struct {
+	In, Hidden int
+
+	wx *Param // 4H × In  (gate order: i, f, o, g)
+	wh *Param // 4H × H
+	b  *Param // 4H
+
+	// Saved forward state for BPTT.
+	x     *Tensor
+	gates []float64 // T × 4H, post-activation
+	cells []float64 // T × H
+	hids  []float64 // T × H
+}
+
+// NewLSTM creates an LSTM with Glorot-initialized weights and forget-gate
+// bias 1 (standard trick for gradient flow).
+func NewLSTM(rng *sim.Stream, in, hidden int) *LSTM {
+	l := &LSTM{In: in, Hidden: hidden,
+		wx: newParam(4 * hidden * in),
+		wh: newParam(4 * hidden * hidden),
+		b:  newParam(4 * hidden),
+	}
+	initUniform(rng, l.wx.W, in, hidden)
+	initUniform(rng, l.wh.W, hidden, hidden)
+	for h := 0; h < hidden; h++ {
+		l.b.W[hidden+h] = 1 // forget gate bias
+	}
+	return l
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs the recurrence over x's rows and returns h_T as (1×H).
+func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
+	if x.Cols != l.In {
+		panic("ml: LSTM input channel mismatch")
+	}
+	T, H := x.Rows, l.Hidden
+	l.x = x
+	l.gates = make([]float64, T*4*H)
+	l.cells = make([]float64, T*H)
+	l.hids = make([]float64, T*H)
+
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+	pre := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		xrow := x.Row(t)
+		copy(pre, l.b.W)
+		for j := 0; j < 4*H; j++ {
+			wrow := l.wx.W[j*l.In : (j+1)*l.In]
+			s := pre[j]
+			for i, xv := range xrow {
+				s += wrow[i] * xv
+			}
+			hrow := l.wh.W[j*H : (j+1)*H]
+			for i, hv := range hPrev {
+				s += hrow[i] * hv
+			}
+			pre[j] = s
+		}
+		g := l.gates[t*4*H : (t+1)*4*H]
+		for h := 0; h < H; h++ {
+			g[h] = sigmoid(pre[h])           // input gate
+			g[H+h] = sigmoid(pre[H+h])       // forget gate
+			g[2*H+h] = sigmoid(pre[2*H+h])   // output gate
+			g[3*H+h] = math.Tanh(pre[3*H+h]) // candidate
+		}
+		cRow := l.cells[t*H : (t+1)*H]
+		hRow := l.hids[t*H : (t+1)*H]
+		for h := 0; h < H; h++ {
+			cRow[h] = g[H+h]*cPrev[h] + g[h]*g[3*H+h]
+			hRow[h] = g[2*H+h] * math.Tanh(cRow[h])
+		}
+		hPrev, cPrev = hRow, cRow
+	}
+	out := NewTensor(1, H)
+	copy(out.Data, hPrev)
+	return out
+}
+
+// Backward runs truncated-free BPTT from the final-state gradient and
+// returns dL/dx.
+func (l *LSTM) Backward(grad *Tensor) *Tensor {
+	T, H := l.x.Rows, l.Hidden
+	dx := NewTensor(l.x.Rows, l.x.Cols)
+	dh := make([]float64, H)
+	dc := make([]float64, H)
+	copy(dh, grad.Data)
+	dpre := make([]float64, 4*H)
+
+	for t := T - 1; t >= 0; t-- {
+		g := l.gates[t*4*H : (t+1)*4*H]
+		cRow := l.cells[t*H : (t+1)*H]
+		var cPrev, hPrev []float64
+		if t > 0 {
+			cPrev = l.cells[(t-1)*H : t*H]
+			hPrev = l.hids[(t-1)*H : t*H]
+		} else {
+			cPrev = make([]float64, H)
+			hPrev = make([]float64, H)
+		}
+		for h := 0; h < H; h++ {
+			tc := math.Tanh(cRow[h])
+			do := dh[h] * tc
+			dct := dc[h] + dh[h]*g[2*H+h]*(1-tc*tc)
+			di := dct * g[3*H+h]
+			df := dct * cPrev[h]
+			dg := dct * g[h]
+			dc[h] = dct * g[H+h] // propagate to c_{t-1}
+
+			dpre[h] = di * g[h] * (1 - g[h])
+			dpre[H+h] = df * g[H+h] * (1 - g[H+h])
+			dpre[2*H+h] = do * g[2*H+h] * (1 - g[2*H+h])
+			dpre[3*H+h] = dg * (1 - g[3*H+h]*g[3*H+h])
+		}
+		// Parameter gradients and input/hidden backprop.
+		xrow := l.x.Row(t)
+		dxrow := dx.Row(t)
+		for h := range dh {
+			dh[h] = 0
+		}
+		for j := 0; j < 4*H; j++ {
+			d := dpre[j]
+			if d == 0 {
+				continue
+			}
+			l.b.G[j] += d
+			wxRow := l.wx.W[j*l.In : (j+1)*l.In]
+			wxG := l.wx.G[j*l.In : (j+1)*l.In]
+			for i, xv := range xrow {
+				wxG[i] += d * xv
+				dxrow[i] += d * wxRow[i]
+			}
+			whRow := l.wh.W[j*H : (j+1)*H]
+			whG := l.wh.G[j*H : (j+1)*H]
+			for i, hv := range hPrev {
+				whG[i] += d * hv
+				dh[i] += d * whRow[i]
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the LSTM's learnables.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }

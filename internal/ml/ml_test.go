@@ -1,0 +1,284 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// numericalGrad checks analytic parameter and input gradients of a model
+// against central finite differences on a fixed sample.
+func checkGradients(t *testing.T, model *Sequential, x *Tensor, label int, tol float64) {
+	t.Helper()
+	// Analytic pass.
+	out := model.Forward(x, false)
+	_, grad := CrossEntropy(out.Data, label)
+	g := NewTensor(out.Rows, out.Cols)
+	copy(g.Data, grad)
+	for _, p := range model.Params() {
+		p.zeroGrad()
+	}
+	model.Backward(g)
+
+	lossAt := func() float64 {
+		o := model.Forward(x, false)
+		l, _ := CrossEntropy(o.Data, label)
+		return l
+	}
+	const eps = 1e-5
+	for pi, p := range model.Params() {
+		// Probe a handful of weights per parameter blob.
+		step := len(p.W)/7 + 1
+		for i := 0; i < len(p.W); i += step {
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			lp := lossAt()
+			p.W[i] = orig - eps
+			lm := lossAt()
+			p.W[i] = orig
+			want := (lp - lm) / (2 * eps)
+			got := p.G[i]
+			if math.Abs(want-got) > tol*(1+math.Abs(want)) {
+				t.Errorf("param %d idx %d: analytic %v, numeric %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := sim.NewStream(1, "t")
+	model := &Sequential{Layers: []Layer{NewDense(rng, 6, 4)}}
+	x := FromSeries([]float64{0.5, -1, 2, 0.3, -0.7, 1.1})
+	checkGradients(t, model, x, 2, 1e-4)
+}
+
+func TestConvReluPoolGradients(t *testing.T) {
+	rng := sim.NewStream(2, "t")
+	model := &Sequential{Layers: []Layer{
+		NewConv1D(rng.Fork("c"), 1, 3, 3, 2),
+		&ReLU{},
+		&MaxPool1D{Size: 2},
+		NewDense(rng.Fork("d"), 9, 3), // conv: (13-3)/2+1 = 6 rows ×3ch, pool/2 → 3×3
+	}}
+	xs := make([]float64, 13)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)) * 1.5
+	}
+	checkGradients(t, model, FromSeries(xs), 1, 1e-4)
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := sim.NewStream(3, "t")
+	model := &Sequential{Layers: []Layer{
+		NewLSTM(rng.Fork("l"), 2, 4),
+		NewDense(rng.Fork("d"), 4, 3),
+	}}
+	x := NewTensor(5, 2)
+	for i := range x.Data {
+		x.Data[i] = math.Cos(float64(i) * 0.7)
+	}
+	checkGradients(t, model, x, 0, 1e-4)
+}
+
+func TestFullPaperNetGradients(t *testing.T) {
+	model, err := PaperNet(4, 120, 3, 2, 3, 0) // dropout 0 for determinism
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 120)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i) * 0.3)
+	}
+	checkGradients(t, model, FromSeries(xs), 2, 1e-3)
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	p := Softmax([]float64{1, 1, 1})
+	for _, v := range p {
+		if math.Abs(v-1.0/3.0) > 1e-12 {
+			t.Fatalf("uniform softmax = %v", p)
+		}
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float64{1000, 0})
+	if p[0] < 0.999 || math.IsNaN(p[0]) {
+		t.Fatalf("softmax stability: %v", p)
+	}
+	loss, grad := CrossEntropy([]float64{0, 0}, 0)
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if math.Abs(grad[0]+0.5) > 1e-12 || math.Abs(grad[1]-0.5) > 1e-12 {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3)
+	x.Set(1, 2, 5)
+	if x.At(1, 2) != 5 || x.Row(1)[2] != 5 {
+		t.Fatal("At/Set/Row")
+	}
+	c := x.Clone()
+	c.Set(0, 0, 9)
+	if x.At(0, 0) == 9 {
+		t.Fatal("Clone aliases")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape should panic")
+		}
+	}()
+	NewTensor(0, 1)
+}
+
+func TestDropout(t *testing.T) {
+	d := NewDropout(sim.NewStream(5, "drop"), 0.5)
+	x := FromSeries(make([]float64, 1000))
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := d.Forward(x, true)
+	zeros := 0
+	var sum float64
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropout zeroed %d/1000", zeros)
+	}
+	// Inverted dropout preserves expectation.
+	if sum < 800 || sum > 1200 {
+		t.Fatalf("dropout sum = %v, want ~1000", sum)
+	}
+	// Inference is identity.
+	inf := d.Forward(x, false)
+	for _, v := range inf.Data {
+		if v != 1 {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+	g := d.Backward(FromSeries(make([]float64, 1000)))
+	if len(g.Data) != 1000 {
+		t.Fatal("backward shape")
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate 1 should panic")
+		}
+	}()
+	NewDropout(sim.NewStream(1, "x"), 1.0)
+}
+
+func TestMaxPoolForwardShape(t *testing.T) {
+	m := &MaxPool1D{Size: 4}
+	x := NewTensor(10, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	out := m.Forward(x, false)
+	if out.Rows != 2 || out.Cols != 2 {
+		t.Fatalf("pool out shape %dx%d", out.Rows, out.Cols)
+	}
+	// Last window absorbs the remainder rows (argmax within [4,10)).
+	if out.At(1, 1) != x.At(9, 1) {
+		t.Fatalf("trailing pool window: got %v", out.At(1, 1))
+	}
+	// Degenerate input shorter than pool size.
+	small := m.Forward(NewTensor(2, 1), false)
+	if small.Rows != 1 {
+		t.Fatal("degenerate pooling should give one row")
+	}
+}
+
+func TestAdamConvergesOnToyProblem(t *testing.T) {
+	// Linearly separable 3-class toy data.
+	rng := sim.NewStream(6, "toy")
+	var X []*Tensor
+	var y []int
+	for i := 0; i < 150; i++ {
+		c := i % 3
+		v := []float64{rng.Normal(float64(c)*2, 0.3), rng.Normal(-float64(c), 0.3)}
+		X = append(X, FromSeries(v))
+		y = append(y, c)
+	}
+	model := &Sequential{Layers: []Layer{NewDense(rng.Fork("d"), 2, 3)}}
+	if err := model.Fit(X, y, nil, nil, FitConfig{Epochs: 40, BatchSize: 8, LR: 0.05, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := model.Accuracy(X, y); acc < 0.95 {
+		t.Fatalf("toy accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestFitEarlyStopping(t *testing.T) {
+	rng := sim.NewStream(7, "es")
+	var X []*Tensor
+	var y []int
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		X = append(X, FromSeries([]float64{float64(c) + rng.Normal(0, 0.1)}))
+		y = append(y, c)
+	}
+	model := &Sequential{Layers: []Layer{NewDense(rng.Fork("d"), 1, 2)}}
+	epochs := 0
+	err := model.Fit(X[:40], y[:40], X[40:], y[40:], FitConfig{
+		Epochs: 100, BatchSize: 8, LR: 0.1, Patience: 2, Seed: 1,
+		Verbose: func(e int, _, _ float64) { epochs = e + 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs >= 100 {
+		t.Fatalf("early stopping never triggered (%d epochs)", epochs)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	model := &Sequential{Layers: []Layer{NewDense(sim.NewStream(1, "v"), 1, 2)}}
+	if err := model.Fit(nil, nil, nil, nil, FitConfig{}); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if err := model.Fit([]*Tensor{FromSeries([]float64{1})}, []int{0, 1}, nil, nil, FitConfig{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestPaperNetValidation(t *testing.T) {
+	if _, err := PaperNet(1, 5, 3, 2, 2, 0); err == nil {
+		t.Fatal("too-short input accepted")
+	}
+	if _, err := PaperNet(1, 100, 3, 0, 2, 0); err == nil {
+		t.Fatal("zero filters accepted")
+	}
+	if _, err := PaperNet(1, 300, 10, 4, 8, 0.5); err != nil {
+		t.Fatalf("valid PaperNet rejected: %v", err)
+	}
+}
+
+func TestLayerPanics(t *testing.T) {
+	rng := sim.NewStream(8, "p")
+	for name, fn := range map[string]func(){
+		"conv-params":  func() { NewConv1D(rng, 1, 1, 0, 1) },
+		"dense-shape":  func() { NewDense(rng, 3, 2).Forward(FromSeries([]float64{1, 2}), false) },
+		"conv-channel": func() { NewConv1D(rng, 2, 1, 2, 1).Forward(FromSeries([]float64{1, 2, 3}), false) },
+		"lstm-channel": func() { NewLSTM(rng, 2, 2).Forward(FromSeries([]float64{1}), false) },
+		"pool-size":    func() { (&MaxPool1D{}).Forward(FromSeries([]float64{1}), false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

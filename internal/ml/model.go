@@ -1,0 +1,253 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Sequential chains layers into a classifier ending in a softmax
+// cross-entropy loss.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Params collects every layer's learnables.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward runs all layers.
+func (s *Sequential) Forward(x *Tensor, train bool) *Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse from the loss gradient.
+func (s *Sequential) Backward(grad *Tensor) {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+}
+
+// Softmax converts logits to probabilities (numerically stable).
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy returns the loss and dL/dlogits for one sample.
+func CrossEntropy(logits []float64, label int) (float64, []float64) {
+	p := Softmax(logits)
+	grad := make([]float64, len(logits))
+	copy(grad, p)
+	grad[label] -= 1
+	loss := -math.Log(math.Max(p[label], 1e-12))
+	return loss, grad
+}
+
+// Adam is the optimizer the paper uses (lr = 0.001).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	params []*Param
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam creates an Adam optimizer over the given parameters with the
+// paper's defaults.
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p.W)))
+		a.v = append(a.v, make([]float64, len(p.W)))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients (scaled by
+// 1/batchSize) and zeroes them.
+func (a *Adam) Step(batchSize int) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	scale := 1.0
+	if batchSize > 1 {
+		scale = 1 / float64(batchSize)
+	}
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.W {
+			g := p.G[i] * scale
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+		}
+		p.zeroGrad()
+	}
+}
+
+// FitConfig controls training.
+type FitConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Patience stops training after this many epochs without validation
+	// improvement (the paper stops "when the validation accuracy starts
+	// decreasing"). 0 disables early stopping.
+	Patience int
+	// MinEpochs delays early stopping until at least this many epochs
+	// have run, so a slow-starting network is not killed prematurely.
+	MinEpochs int
+	Seed      uint64
+	// Verbose receives per-epoch progress lines when non-nil.
+	Verbose func(epoch int, trainLoss, valAcc float64)
+}
+
+// Fit trains the model on (X, y) with optional validation-based early
+// stopping. Gradients accumulate across each minibatch before an Adam step.
+func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg FitConfig) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return errors.New("ml: Fit needs matching non-empty X, y")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.001
+	}
+	opt := NewAdam(s.Params(), cfg.LR)
+	rng := sim.NewStream(cfg.Seed, "fit")
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	bestVal := -1.0
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var totalLoss float64
+		inBatch := 0
+		for _, idx := range order {
+			out := s.Forward(X[idx], true)
+			loss, grad := CrossEntropy(out.Data, y[idx])
+			totalLoss += loss
+			g := NewTensor(out.Rows, out.Cols)
+			copy(g.Data, grad)
+			s.Backward(g)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				opt.Step(inBatch)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step(inBatch)
+		}
+		valAcc := math.NaN()
+		if len(valX) > 0 {
+			valAcc = s.Accuracy(valX, valY)
+			if valAcc > bestVal {
+				bestVal = valAcc
+				sinceBest = 0
+			} else {
+				sinceBest++
+			}
+		}
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, totalLoss/float64(len(X)), valAcc)
+		}
+		if cfg.Patience > 0 && epoch+1 >= cfg.MinEpochs && sinceBest >= cfg.Patience {
+			break
+		}
+	}
+	return nil
+}
+
+// Predict returns class probabilities for one input.
+func (s *Sequential) Predict(x *Tensor) []float64 {
+	out := s.Forward(x, false)
+	return Softmax(out.Data)
+}
+
+// Accuracy evaluates top-1 accuracy on a labeled set.
+func (s *Sequential) Accuracy(X []*Tensor, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		p := s.Predict(x)
+		best := 0
+		for c := range p {
+			if p[c] > p[best] {
+				best = c
+			}
+		}
+		if best == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// PaperNet builds a scaled version of the paper's classifier (footnote 2):
+// two Conv1D+MaxPool pairs, an LSTM, dropout, and a dense softmax head.
+// inLen is the input series length; filters/hidden scale the width so tests
+// and benchmarks can trade accuracy for runtime (the paper uses 256 filters
+// and 32 LSTM units).
+func PaperNet(seed uint64, inLen, classes, filters, hidden int, dropout float64) (*Sequential, error) {
+	if filters <= 0 || hidden <= 0 {
+		return nil, fmt.Errorf("ml: PaperNet needs positive filters/hidden")
+	}
+	rng := sim.NewStream(seed, "papernet")
+	conv1 := NewConv1D(rng.Fork("c1"), 1, filters, 8, 3)
+	pool1 := &MaxPool1D{Size: 4}
+	conv2 := NewConv1D(rng.Fork("c2"), filters, filters, 8, 3)
+	pool2 := &MaxPool1D{Size: 4}
+	// Track the time length through the stack to validate inLen.
+	t := conv1.outLen(inLen)
+	if t > 0 {
+		t /= 4
+		if t == 0 {
+			t = 1
+		}
+		t = conv2.outLen(t)
+	}
+	if t <= 0 {
+		return nil, fmt.Errorf("ml: input length %d too short for PaperNet", inLen)
+	}
+	return &Sequential{Layers: []Layer{
+		conv1, &ReLU{}, pool1,
+		conv2, &ReLU{}, pool2,
+		NewLSTM(rng.Fork("lstm"), filters, hidden),
+		NewDropout(rng.Fork("drop"), dropout),
+		NewDense(rng.Fork("dense"), hidden, classes),
+	}}, nil
+}

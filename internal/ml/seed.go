@@ -1,0 +1,9 @@
+package ml
+
+import "repro/internal/sim"
+
+// newSeedStream derives a named deterministic stream; small indirection so
+// classifier code reads cleanly.
+func newSeedStream(seed uint64, name string) *sim.Stream {
+	return sim.NewStream(seed, name)
+}

@@ -1,0 +1,125 @@
+// Package procattack implements the other §7.1 attack family: instead of a
+// timing side channel, the attacker directly reads interrupt *statistics*
+// from /proc/interrupts (world-readable on stock Linux) and fingerprints
+// websites from count deltas over time.
+//
+// The paper's contrast: these attacks are trivially mitigated by
+// restricting the pseudo-file ("one could simply disable non-privileged
+// access to the interrupt pseudo-file"), whereas the timing channel this
+// repository reproduces needs no filesystem access at all.
+package procattack
+
+import (
+	"fmt"
+
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Access controls whether the pseudo-file is readable — the mitigation
+// switch.
+type Access uint8
+
+// Pseudo-file access policies.
+const (
+	// WorldReadable is stock Linux behaviour.
+	WorldReadable Access = iota
+	// Restricted models `chmod 0400 /proc/interrupts` (or the sysctl
+	// equivalents): reads by unprivileged attackers fail.
+	Restricted
+)
+
+// ErrRestricted is returned when the pseudo-file has been restricted.
+var ErrRestricted = fmt.Errorf("procattack: /proc/interrupts is not readable")
+
+// Reader polls the interrupt counters like an attacker re-reading
+// /proc/interrupts in a loop.
+type Reader struct {
+	m      *kernel.Machine
+	access Access
+}
+
+// NewReader attaches to a machine with the given access policy.
+func NewReader(m *kernel.Machine, access Access) *Reader {
+	return &Reader{m: m, access: access}
+}
+
+// Totals returns the current per-type counter totals across all cores,
+// or ErrRestricted under the mitigation.
+func (r *Reader) Totals() ([interrupt.NumTypes]uint64, error) {
+	var out [interrupt.NumTypes]uint64
+	if r.access == Restricted {
+		return out, ErrRestricted
+	}
+	for t := interrupt.Type(0); t < interrupt.NumTypes; t++ {
+		out[t] = r.m.Ctl.TotalCount(t)
+	}
+	return out, nil
+}
+
+// Config parameterizes statistics-trace collection.
+type Config struct {
+	// Period between counter polls (the attack needs no fine timer —
+	// it reads integers from a file).
+	Period sim.Duration
+	// Samples to record.
+	Samples int
+	// Types to sum into the trace; empty means every type.
+	Types []interrupt.Type
+}
+
+func (c *Config) normalize() error {
+	if c.Period <= 0 {
+		c.Period = 50 * sim.Millisecond
+	}
+	if c.Samples <= 0 {
+		return fmt.Errorf("procattack: config needs Samples > 0")
+	}
+	return nil
+}
+
+// Collect polls the counters every Period and records per-interval deltas.
+// The machine's engine is advanced as a side effect; page-load activity
+// must already be scheduled.
+func Collect(m *kernel.Machine, access Access, cfg Config) (trace.Trace, error) {
+	if err := cfg.normalize(); err != nil {
+		return trace.Trace{}, err
+	}
+	r := NewReader(m, access)
+	types := cfg.Types
+	if len(types) == 0 {
+		for t := interrupt.Type(0); t < interrupt.NumTypes; t++ {
+			types = append(types, t)
+		}
+	}
+	sum := func(tot [interrupt.NumTypes]uint64) float64 {
+		var s uint64
+		for _, t := range types {
+			s += tot[t]
+		}
+		return float64(s)
+	}
+	last, err := r.Totals()
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	lastSum := sum(last)
+	vals := make([]float64, 0, cfg.Samples)
+	for len(vals) < cfg.Samples {
+		m.Eng.Run(m.Eng.Now() + cfg.Period)
+		tot, err := r.Totals()
+		if err != nil {
+			return trace.Trace{}, err
+		}
+		s := sum(tot)
+		vals = append(vals, s-lastSum)
+		lastSum = s
+	}
+	return trace.Trace{
+		Attack: "proc-interrupts",
+		Period: cfg.Period,
+		Values: vals,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package procattack
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/interrupt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/website"
+)
+
+func loaded(seed uint64, domain string) *kernel.Machine {
+	m := kernel.NewMachine(kernel.Config{OS: kernel.Linux, Seed: seed})
+	visit := website.ProfileFor(domain).Instantiate(m.RNG().Fork("v"))
+	browser.LoadPage(m, visit, 1.0, 10*sim.Second)
+	return m
+}
+
+func TestCollectShape(t *testing.T) {
+	m := loaded(1, "amazon.com")
+	tr, err := Collect(m, WorldReadable, Config{Period: 100 * sim.Millisecond, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Values) != 50 || tr.Attack != "proc-interrupts" {
+		t.Fatalf("trace: %d values, %q", len(tr.Values), tr.Attack)
+	}
+	// Deltas are nonnegative counts.
+	for _, v := range tr.Values {
+		if v < 0 {
+			t.Fatal("negative delta")
+		}
+	}
+	// The load's front-heavy network activity must show: early deltas
+	// larger than late ones.
+	early := stats.Mean(tr.Values[:20])
+	late := stats.Mean(tr.Values[30:])
+	if early <= late {
+		t.Fatalf("no activity shape: early %v vs late %v", early, late)
+	}
+}
+
+func TestCollectTypeFilter(t *testing.T) {
+	m := loaded(2, "amazon.com")
+	tr, err := Collect(m, WorldReadable, Config{
+		Period: 100 * sim.Millisecond, Samples: 30,
+		Types: []interrupt.Type{interrupt.NetRX},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := loaded(2, "amazon.com")
+	all, err := Collect(m2, WorldReadable, Config{Period: 100 * sim.Millisecond, Samples: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(tr.Values) >= stats.Mean(all.Values) {
+		t.Fatal("filtered trace should count fewer interrupts")
+	}
+}
+
+func TestRestrictedMitigation(t *testing.T) {
+	m := loaded(3, "amazon.com")
+	_, err := Collect(m, Restricted, Config{Samples: 5})
+	if !errors.Is(err, ErrRestricted) {
+		t.Fatalf("err = %v, want ErrRestricted", err)
+	}
+	r := NewReader(m, Restricted)
+	if _, err := r.Totals(); !errors.Is(err, ErrRestricted) {
+		t.Fatal("Totals should fail when restricted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := loaded(4, "amazon.com")
+	if _, err := Collect(m, WorldReadable, Config{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	// Default period fills in.
+	tr, err := Collect(m, WorldReadable, Config{Samples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Period != 50*sim.Millisecond {
+		t.Fatal("default period")
+	}
+}
+
+// The statistics traces fingerprint sites too: traces of the same site
+// correlate better than traces of different sites.
+func TestStatisticsFingerprint(t *testing.T) {
+	collect := func(seed uint64, domain string) []float64 {
+		m := loaded(seed, domain)
+		tr, err := Collect(m, WorldReadable, Config{Period: 100 * sim.Millisecond, Samples: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.ZScore(tr.Values)
+	}
+	a1 := collect(10, "nytimes.com")
+	a2 := collect(11, "nytimes.com")
+	b := collect(12, "amazon.com")
+	same, err := stats.Pearson(a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := stats.Pearson(a1, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same <= diff {
+		t.Fatalf("same-site r=%v should beat cross-site r=%v", same, diff)
+	}
+}

@@ -1,0 +1,160 @@
+// Package render draws traces and series as terminal graphics: grayscale
+// heat strips like the paper's Figure 3, sparkline-style line charts for
+// Figures 4–5, and scatter plots for Figure 7. Pure text output so the
+// reproduction's figures are viewable anywhere.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// shades order from light (high values) to dark (low values): in Figure 3,
+// darker means a smaller counter — more time stolen by interrupts.
+var shades = []rune{'█', '▓', '▒', '░', ' '}
+
+// HeatStrip renders xs as a one-line grayscale strip of the given width,
+// averaging samples into columns. Values are scaled between min and max of
+// the series; *low* values render dark, as in Figure 3.
+func HeatStrip(xs []float64, width int) string {
+	if len(xs) == 0 || width <= 0 {
+		return ""
+	}
+	cols := resample(xs, width)
+	lo, hi := stats.Min(cols), stats.Max(cols)
+	var b strings.Builder
+	for _, v := range cols {
+		frac := 0.5
+		if hi > lo {
+			frac = (v - lo) / (hi - lo)
+		}
+		idx := int(frac * float64(len(shades)))
+		if idx >= len(shades) {
+			idx = len(shades) - 1
+		}
+		// frac 0 (low counter, interrupt-heavy) → darkest shade '█'.
+		b.WriteRune(shades[idx])
+	}
+	return b.String()
+}
+
+// HeatMap renders several rows of the same length, labeled, with a shared
+// time axis caption.
+func HeatMap(rows map[string][]float64, order []string, width int, caption string) string {
+	var b strings.Builder
+	labelW := 0
+	for _, name := range order {
+		if len(name) > labelW {
+			labelW = len(name)
+		}
+	}
+	for _, name := range order {
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, name, HeatStrip(rows[name], width))
+	}
+	if caption != "" {
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, "", caption)
+	}
+	return b.String()
+}
+
+// Line renders xs as a height-row ASCII line chart.
+func Line(xs []float64, width, height int) string {
+	if len(xs) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	cols := resample(xs, width)
+	lo, hi := stats.Min(cols), stats.Max(cols)
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		frac := 0.5
+		if hi > lo {
+			frac = (v - lo) / (hi - lo)
+		}
+		row := int((1 - frac) * float64(height-1))
+		grid[row][c] = '·'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		marker := " "
+		switch r {
+		case 0:
+			marker = fmt.Sprintf("%8.3g ┤", hi)
+		case height - 1:
+			marker = fmt.Sprintf("%8.3g ┤", lo)
+		default:
+			marker = strings.Repeat(" ", 9) + "│"
+		}
+		b.WriteString(marker + string(row) + "\n")
+	}
+	return b.String()
+}
+
+// Overlay renders two same-length series in one chart ('●' and '○'),
+// useful for Figure 4's loop-vs-sweep comparison.
+func Overlay(a, b []float64, width, height int) string {
+	if len(a) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	ca, cb := resample(a, width), resample(b, width)
+	lo := stats.Min(append(append([]float64{}, ca...), cb...))
+	hi := stats.Max(append(append([]float64{}, ca...), cb...))
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	plot := func(cols []float64, mark rune) {
+		for c, v := range cols {
+			frac := 0.5
+			if hi > lo {
+				frac = (v - lo) / (hi - lo)
+			}
+			row := int((1 - frac) * float64(height-1))
+			if grid[row][c] == ' ' || grid[row][c] == mark {
+				grid[row][c] = mark
+			} else {
+				grid[row][c] = '◉' // both series share the cell
+			}
+		}
+	}
+	plot(ca, '●')
+	plot(cb, '○')
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.WriteString(string(row) + "\n")
+	}
+	return sb.String()
+}
+
+// resample averages xs into exactly width columns (or pads by repetition
+// when xs is shorter than width).
+func resample(xs []float64, width int) []float64 {
+	out := make([]float64, width)
+	if len(xs) >= width {
+		per := float64(len(xs)) / float64(width)
+		for c := 0; c < width; c++ {
+			lo := int(float64(c) * per)
+			hi := int(float64(c+1) * per)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			var s float64
+			for _, v := range xs[lo:hi] {
+				s += v
+			}
+			out[c] = s / float64(hi-lo)
+		}
+		return out
+	}
+	for c := 0; c < width; c++ {
+		out[c] = xs[c*len(xs)/width]
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package render
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestHeatStripWidthAndShades(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := HeatStrip(xs, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	// Low values (start) must be darker than high values (end):
+	// the first rune should be a space or light shade inverse... in our
+	// convention low = dark = '█'.
+	if runes[0] != '█' {
+		t.Fatalf("low values should render dark, got %q", runes[0])
+	}
+	if runes[len(runes)-1] != ' ' {
+		t.Fatalf("high values should render light, got %q", runes[len(runes)-1])
+	}
+}
+
+func TestHeatStripConstantSeries(t *testing.T) {
+	s := HeatStrip([]float64{5, 5, 5, 5}, 4)
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatal("width")
+	}
+}
+
+func TestHeatStripEmpty(t *testing.T) {
+	if HeatStrip(nil, 10) != "" || HeatStrip([]float64{1}, 0) != "" {
+		t.Fatal("empty cases")
+	}
+}
+
+func TestHeatMap(t *testing.T) {
+	rows := map[string][]float64{
+		"a.com": {1, 2, 3, 4},
+		"b.com": {4, 3, 2, 1},
+	}
+	out := HeatMap(rows, []string{"a.com", "b.com"}, 10, "0s → 15s")
+	if !strings.Contains(out, "a.com") || !strings.Contains(out, "b.com") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "0s → 15s") {
+		t.Fatal("caption missing")
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("line count: %q", out)
+	}
+}
+
+func TestLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	out := Line(xs, 20, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("height = %d", len(lines))
+	}
+	if !strings.Contains(out, "·") {
+		t.Fatal("no points plotted")
+	}
+	if Line(nil, 5, 5) != "" {
+		t.Fatal("empty")
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	out := Overlay(a, b, 12, 6)
+	if !strings.Contains(out, "●") || !strings.Contains(out, "○") {
+		t.Fatalf("marks missing: %q", out)
+	}
+	// Identical series collide into the shared mark.
+	same := Overlay(a, a, 12, 6)
+	if !strings.Contains(same, "◉") {
+		t.Fatal("collision mark missing")
+	}
+	if Overlay(nil, nil, 5, 5) != "" {
+		t.Fatal("empty")
+	}
+}
+
+// Property: resample always returns exactly `width` values within the
+// min/max envelope of the input.
+func TestResampleProperty(t *testing.T) {
+	f := func(raw []float64, w uint8) bool {
+		width := int(w)%50 + 1
+		if len(raw) == 0 {
+			return true
+		}
+		// Bound inputs: averaging near-max float64 values overflows.
+		for i := range raw {
+			if raw[i] != raw[i] { // NaN breaks min/max envelopes
+				return true
+			}
+			for raw[i] > 1e12 || raw[i] < -1e12 {
+				raw[i] /= 1e6
+			}
+		}
+		out := resample(raw, width)
+		if len(out) != width {
+			return false
+		}
+		lo, hi := raw[0], raw[0]
+		for _, v := range raw {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package sgxstep
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func randomBits(rng *sim.Stream, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = rng.Bernoulli(0.5)
+	}
+	return bits
+}
+
+func TestSquareAndMultiplyShape(t *testing.T) {
+	prog := SquareAndMultiply([]bool{true, false, true})
+	want := []Instr{Square, Multiply, LoopEnd, Square, LoopEnd, Square, Multiply, LoopEnd}
+	if len(prog) != len(want) {
+		t.Fatalf("program = %v", prog)
+	}
+	for i := range want {
+		if prog[i] != want[i] {
+			t.Fatalf("program = %v, want %v", prog, want)
+		}
+	}
+	if SquareAndMultiply(nil) != nil {
+		t.Fatal("empty key")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	for _, i := range []Instr{Nop, Square, Multiply, LoopEnd, Instr(9)} {
+		if i.String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func TestLatencyClassesSeparated(t *testing.T) {
+	if retireLatency(Multiply) <= retireLatency(Square) {
+		t.Fatal("multiply must retire slower than square")
+	}
+	if retireLatency(LoopEnd) >= retireLatency(Square) {
+		t.Fatal("loop-end must be the cheapest of the loop body")
+	}
+}
+
+func TestNemesisRecoversKey(t *testing.T) {
+	rng := sim.NewStream(1, "sgx")
+	key := randomBits(rng.Fork("key"), 128)
+	stepper := NewStepper(rng.Fork("steps"))
+	steps := stepper.Run(SquareAndMultiply(key))
+	got := stepper.RecoverNemesis(steps)
+	if acc := BitAccuracy(key, got); acc < 0.99 {
+		t.Fatalf("Nemesis recovery = %v, want ~1.0", acc)
+	}
+}
+
+func TestCopyCatRecoversKey(t *testing.T) {
+	rng := sim.NewStream(2, "sgx")
+	key := randomBits(rng.Fork("key"), 128)
+	stepper := NewStepper(rng.Fork("steps"))
+	steps := stepper.Run(SquareAndMultiply(key))
+	got := stepper.RecoverCopyCat(steps)
+	if acc := BitAccuracy(key, got); acc < 0.99 {
+		t.Fatalf("CopyCat recovery = %v, want ~1.0", acc)
+	}
+}
+
+func TestNoiseDegradesNemesis(t *testing.T) {
+	rng := sim.NewStream(3, "sgx")
+	key := randomBits(rng.Fork("key"), 256)
+	noisy := NewStepper(rng.Fork("steps"))
+	noisy.JitterNS = 60 // σ beyond the 65 ns class separation
+	steps := noisy.Run(SquareAndMultiply(key))
+	acc := BitAccuracy(key, noisy.RecoverNemesis(steps))
+	if acc > 0.95 {
+		t.Fatalf("recovery %v survived extreme jitter; noise model inert?", acc)
+	}
+	if acc < 0.4 {
+		t.Fatalf("recovery %v below coin flip band", acc)
+	}
+}
+
+func TestBitAccuracyEdges(t *testing.T) {
+	if BitAccuracy(nil, nil) != 0 {
+		t.Fatal("empty truth")
+	}
+	if BitAccuracy([]bool{true, false}, []bool{true}) != 0.5 {
+		t.Fatal("short recovery should count misses")
+	}
+	if BitAccuracy([]bool{true}, []bool{true, false, true}) != 1 {
+		t.Fatal("extra recovered bits should not hurt matched prefix")
+	}
+}
+
+// Property: with low jitter, both recoveries are exact for any key.
+func TestRecoveryProperty(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		key := make([]bool, len(raw)*2)
+		for i := range key {
+			key[i] = raw[i/2]&(1<<(i%2)) != 0
+		}
+		rng := sim.NewStream(seed, "prop")
+		stepper := NewStepper(rng)
+		stepper.JitterNS = 1
+		steps := stepper.Run(SquareAndMultiply(key))
+		return BitAccuracy(key, stepper.RecoverNemesis(steps)) == 1 &&
+			BitAccuracy(key, stepper.RecoverCopyCat(steps)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run(100)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineTieBreakInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run(5)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestEngineRunUntilExcludesLater(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(100, func() { ran = true })
+	e.Run(99)
+	if ran {
+		t.Fatal("event at t=100 ran with until=99")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(100)
+	if !ran {
+		t.Fatal("event at t=100 did not run with until=100")
+	}
+}
+
+func TestEngineSchedulePastClamps(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(50, func() {
+		e.Schedule(10, func() { at = e.Now() }) // in the past
+	})
+	e.Run(1000)
+	if at != 50 {
+		t.Fatalf("past-scheduled event ran at %v, want 50", at)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 5 {
+			e.After(10, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run(1000)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %v, want 1000", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := e.Tick(5, 10, func(now Time) { ticks = append(ticks, now) })
+	e.Schedule(36, func() { tk.Cancel() })
+	e.Run(1000)
+	want := []Time{5, 15, 25, 35}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().Tick(0, 0, func(Time) {})
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: events always execute in nondecreasing time order regardless of
+// insertion order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, o := range offsets {
+			at := Time(o)
+			e.Schedule(at, func() { times = append(times, e.Now()) })
+		}
+		e.RunAll()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: streams with the same seed and name produce identical sequences;
+// different names diverge.
+func TestStreamDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := NewStream(seed, "x")
+		b := NewStream(seed, "x")
+		c := NewStream(seed, "y")
+		same, diff := true, false
+		for i := 0; i < 16; i++ {
+			av := a.Uint64()
+			if av != b.Uint64() {
+				same = false
+			}
+			if av != c.Uint64() {
+				diff = true
+			}
+		}
+		return same && diff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDistributions(t *testing.T) {
+	s := NewStream(42, "dist")
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	if mean < 9.9 || mean > 10.1 {
+		t.Errorf("normal mean = %v, want ~10", mean)
+	}
+	variance := sum2/float64(n) - mean*mean
+	if variance < 3.5 || variance > 4.5 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+
+	var psum int
+	for i := 0; i < n; i++ {
+		psum += s.Poisson(3)
+	}
+	pmean := float64(psum) / float64(n)
+	if pmean < 2.8 || pmean > 3.2 {
+		t.Errorf("poisson mean = %v, want ~3", pmean)
+	}
+
+	// Large-mean Poisson takes the normal-approximation path.
+	var lsum int
+	for i := 0; i < n; i++ {
+		lsum += s.Poisson(100)
+	}
+	lmean := float64(lsum) / float64(n)
+	if lmean < 98 || lmean > 102 {
+		t.Errorf("poisson(100) mean = %v, want ~100", lmean)
+	}
+
+	var esum float64
+	for i := 0; i < n; i++ {
+		esum += s.Exp(5)
+	}
+	emean := esum / float64(n)
+	if emean < 4.8 || emean > 5.2 {
+		t.Errorf("exp mean = %v, want ~5", emean)
+	}
+}
+
+func TestStreamDurHelpers(t *testing.T) {
+	s := NewStream(1, "dur")
+	for i := 0; i < 1000; i++ {
+		d := s.DurUniform(10, 20)
+		if d < 10 || d >= 20 {
+			t.Fatalf("DurUniform out of range: %v", d)
+		}
+	}
+	if d := s.DurUniform(20, 10); d != 20 {
+		t.Fatalf("DurUniform inverted range = %v, want lo", d)
+	}
+	for i := 0; i < 1000; i++ {
+		d := s.DurLogNormal(1000, 0.5, 500, 5000)
+		if d < 500 || d > 5000 {
+			t.Fatalf("DurLogNormal out of clamp: %v", d)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if d := s.DurExp(1000); d < 1 {
+			t.Fatalf("DurExp below 1ns: %v", d)
+		}
+	}
+	if s.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) != 0")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.RunAll()
+	}
+}
+
+func TestStreamForkIndependence(t *testing.T) {
+	parent := NewStream(5, "parent")
+	child := parent.Fork("child")
+	// Drawing from the child must not perturb the parent's sequence.
+	parent2 := NewStream(5, "parent")
+	_ = parent2.Fork("child")
+	for i := 0; i < 8; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 8; i++ {
+		if parent.Uint64() != parent2.Uint64() {
+			t.Fatal("child draws perturbed the parent stream")
+		}
+	}
+}
+
+func TestStreamPermShuffle(t *testing.T) {
+	s := NewStream(6, "perm")
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatal("shuffle lost elements")
+	}
+	if s.Bernoulli(0) || !s.Bernoulli(1) {
+		t.Fatal("Bernoulli extremes")
+	}
+	if v := s.Uniform(3, 3); v != 3 {
+		t.Fatalf("degenerate uniform = %v", v)
+	}
+	if s.IntN(1) != 0 || s.Int64N(1) != 0 {
+		t.Fatal("IntN(1)")
+	}
+	lg := s.LogNormal(0, 0)
+	if lg != 1 {
+		t.Fatalf("LogNormal(0,0) = %v", lg)
+	}
+}

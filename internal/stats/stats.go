@@ -1,0 +1,251 @@
+// Package stats provides the statistical primitives used throughout the
+// evaluation: summary statistics, Pearson correlation, Welch's two-sample
+// t-test (used by the paper to compare classifier accuracies), histograms,
+// confusion matrices, and top-k accuracy.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples than
+// were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element; 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) using linear interpolation
+// between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns an error if the lengths differ, there are fewer than two
+// samples, or either side has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Pearson length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: Pearson zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// TTestResult reports a Welch two-sample t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs Welch's unequal-variance two-sample t-test, the
+// "standard 2-sample t-test" the paper uses to compare classifiers (§4.2).
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		return TTestResult{}, errors.New("stats: t-test zero variance")
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	df := se2 * se2 / (va*va/(na*na*(na-1)) + vb*vb/(nb*nb*(nb-1)))
+	p := 2 * studentTCDFUpper(math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+// studentTCDFUpper returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTCDFUpper(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95), using `rounds`
+// resamples driven by the deterministic next function (return a value in
+// [0, n); pass a seeded RNG's IntN).
+func BootstrapCI(xs []float64, confidence float64, rounds int, next func(n int) int) (lo, hi float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, errors.New("stats: confidence must be in (0,1)")
+	}
+	if rounds < 10 {
+		return 0, 0, errors.New("stats: need at least 10 bootstrap rounds")
+	}
+	means := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		var s float64
+		for i := 0; i < len(xs); i++ {
+			s += xs[next(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	alpha := (1 - confidence) / 2 * 100
+	return Percentile(means, alpha), Percentile(means, 100-alpha), nil
+}

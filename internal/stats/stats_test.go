@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton edge cases")
+	}
+}
+
+func TestMinMaxPercentile(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatal("Min/Max wrong")
+	}
+	if p := Percentile(xs, 50); !almost(p, 4, 1e-12) {
+		t.Errorf("median = %v, want 4", p)
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 9 {
+		t.Error("extreme percentiles wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+	if _, err := Pearson(xs, xs[:3]); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance not detected")
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		// Bound inputs so the sums of squares cannot overflow float64.
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Mod(v, 1e6)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 3*x + 7
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // constant input
+		}
+		return almost(r, 1, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTTest(t *testing.T) {
+	// Clearly different samples: p should be tiny.
+	a := []float64{10, 10.1, 9.9, 10.2, 9.8, 10.0, 10.1, 9.9}
+	b := []float64{5, 5.1, 4.9, 5.2, 4.8, 5.0, 5.1, 4.9}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("p = %v, want < 1e-6", res.P)
+	}
+	if res.T <= 0 {
+		t.Errorf("t = %v, want > 0", res.T)
+	}
+
+	// Identical distributions: p should be large.
+	c := []float64{1, 2, 3, 4, 5, 6}
+	d := []float64{1.1, 2.1, 2.9, 4.1, 4.9, 6.1}
+	res, err = WelchTTest(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("p = %v, want >= 0.5 for similar samples", res.P)
+	}
+
+	if _, err := WelchTTest([]float64{1}, c); err == nil {
+		t.Error("insufficient data not detected")
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// I_x(1,1) = x
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-9) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1, 2.5, 5, 9.99, 10, 11})
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("Under=%d Over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if c := h.BinCenter(0); !almost(c, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", c)
+	}
+	if d := h.Density(0); !almost(d, 0.4, 1e-12) {
+		t.Errorf("Density(0) = %v", d)
+	}
+	if h.Render(10) == "" {
+		t.Error("Render empty")
+	}
+	if h.Mode() != 1 {
+		t.Errorf("Mode = %v, want 1", h.Mode())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	cm.Add(1, 1)
+	cm.Add(2, 0)
+	if cm.Total() != 5 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+	if a := cm.Accuracy(); !almost(a, 3.0/5.0, 1e-12) {
+		t.Errorf("Accuracy = %v", a)
+	}
+	if r := cm.ClassRecall(0); !almost(r, 2.0/3.0, 1e-12) {
+		t.Errorf("Recall(0) = %v", r)
+	}
+	if r := cm.ClassRecall(2); r != 0 {
+		t.Errorf("Recall(2) = %v", r)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	scores := [][]float64{
+		{0.5, 0.3, 0.2}, // label 0: rank 0
+		{0.5, 0.3, 0.2}, // label 1: rank 1
+		{0.5, 0.3, 0.2}, // label 2: rank 2
+	}
+	labels := []int{0, 1, 2}
+	if a := TopKAccuracy(scores, labels, 1); !almost(a, 1.0/3.0, 1e-12) {
+		t.Errorf("top1 = %v", a)
+	}
+	if a := TopKAccuracy(scores, labels, 2); !almost(a, 2.0/3.0, 1e-12) {
+		t.Errorf("top2 = %v", a)
+	}
+	if a := TopKAccuracy(scores, labels, 3); a != 1 {
+		t.Errorf("top3 = %v", a)
+	}
+	if TopKAccuracy(nil, nil, 1) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestNormalizeAndZScore(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	n := NormalizeMax(xs)
+	if n[2] != 1 || !almost(n[0], 0.25, 1e-12) {
+		t.Errorf("NormalizeMax = %v", n)
+	}
+	if xs[2] != 4 {
+		t.Error("NormalizeMax mutated input")
+	}
+	z := ZScore([]float64{1, 2, 3})
+	if !almost(Mean(z), 0, 1e-12) {
+		t.Errorf("ZScore mean = %v", Mean(z))
+	}
+	if zz := ZScore([]float64{5, 5, 5}); zz[0] != 0 {
+		t.Error("zero-variance ZScore should be zeros")
+	}
+	zeroMax := NormalizeMax([]float64{0, 0})
+	if zeroMax[0] != 0 {
+		t.Error("zero-max normalize")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	sm := MovingAverage(xs, 3)
+	if !almost(sm[2], 3, 1e-12) {
+		t.Errorf("center = %v", sm[2])
+	}
+	if !almost(sm[0], 1.5, 1e-12) { // window clipped at edge
+		t.Errorf("edge = %v", sm[0])
+	}
+	id := MovingAverage(xs, 1)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Fatal("window=1 should be identity")
+		}
+	}
+}
+
+func TestArgMaxClamp(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Error("ArgMax wrong")
+	}
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax empty")
+	}
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.9, 0.95, 1.0})
+	if !almost(s.Mean, 95, 1e-9) {
+		t.Errorf("Summary mean = %v", s.Mean)
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := []float64{9.8, 10.1, 10.0, 9.9, 10.2, 10.0, 9.95, 10.05}
+	rng := newDetRNG(7)
+	lo, hi, err := BootstrapCI(xs, 0.95, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mean(xs)
+	if lo > m || hi < m {
+		t.Fatalf("CI [%v, %v] excludes mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 || hi-lo > 1 {
+		t.Fatalf("implausible CI width %v", hi-lo)
+	}
+	if _, _, err := BootstrapCI(xs[:1], 0.95, 100, rng); err == nil {
+		t.Fatal("insufficient data accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 1.5, 100, rng); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+	if _, _, err := BootstrapCI(xs, 0.95, 5, rng); err == nil {
+		t.Fatal("too few rounds accepted")
+	}
+}
+
+// newDetRNG is a tiny deterministic LCG for bootstrap tests (the stats
+// package must not depend on internal/sim).
+func newDetRNG(seed uint64) func(int) int {
+	state := seed
+	return func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+}

@@ -1,0 +1,91 @@
+// Package tornet models the Tor network path a Tor Browser page load takes:
+// a three-hop circuit with per-hop latency and a bottleneck relay
+// bandwidth. Circuits are rebuilt between visits, so the same page arrives
+// with different delays, stretches, and throughput ceilings each time —
+// the mechanistic source of Tor Browser's much lower fingerprinting
+// accuracy (Table 1), replacing a hand-tuned jitter multiplier.
+package tornet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/website"
+)
+
+// Circuit is one guard–middle–exit path.
+type Circuit struct {
+	// HopRTT holds round-trip latencies client→guard, guard→middle,
+	// middle→exit.
+	HopRTT [3]sim.Duration
+	// BottleneckPPS caps packet throughput through the slowest relay
+	// (packets/second at ~1.5 KB cells-per-packet granularity).
+	BottleneckPPS float64
+}
+
+// NewCircuit samples a realistic circuit: relay latencies tens to hundreds
+// of milliseconds, bandwidths from a long-tailed distribution (most relays
+// are slow; a few are fast).
+func NewCircuit(rng *sim.Stream) Circuit {
+	var c Circuit
+	c.HopRTT[0] = rng.DurLogNormal(40*sim.Millisecond, 0.5, 10*sim.Millisecond, 400*sim.Millisecond)
+	c.HopRTT[1] = rng.DurLogNormal(70*sim.Millisecond, 0.6, 15*sim.Millisecond, 800*sim.Millisecond)
+	c.HopRTT[2] = rng.DurLogNormal(90*sim.Millisecond, 0.6, 15*sim.Millisecond, 1200*sim.Millisecond)
+	c.BottleneckPPS = rng.LogNormal(0, 0.8) * 2500 // median 2.5k pps, long tail both ways
+	if c.BottleneckPPS < 250 {
+		c.BottleneckPPS = 250
+	}
+	return c
+}
+
+// RTT returns the full-circuit round trip.
+func (c Circuit) RTT() sim.Duration {
+	return c.HopRTT[0] + c.HopRTT[1] + c.HopRTT[2]
+}
+
+// String renders the circuit like a Tor control-port summary.
+func (c Circuit) String() string {
+	return fmt.Sprintf("circuit rtt=%v (guard %v, middle %v, exit %v) bw≈%.0f pps",
+		c.RTT(), c.HopRTT[0], c.HopRTT[1], c.HopRTT[2], c.BottleneckPPS)
+}
+
+// Distort transforms a website visit profile as observed through the
+// circuit:
+//
+//   - every pulse is delayed by the circuit RTT times the number of
+//     round trips its position implies (connection setup, then request
+//     cascades), plus per-pulse queueing jitter;
+//   - network rates are capped at the bottleneck throughput, stretching
+//     the pulse so the same packet volume still arrives;
+//   - non-network activity (CPU, memory) stretches with its pulse, since
+//     rendering waits for data.
+func (c Circuit) Distort(p website.Profile, rng *sim.Stream) website.Profile {
+	out := website.Profile{Domain: p.Domain, Pulses: make([]website.Pulse, len(p.Pulses))}
+	rtt := float64(c.RTT())
+	for i, pl := range p.Pulses {
+		// Handshake + per-pulse request round trips: earlier pulses
+		// wait for circuit setup (~3 RTTs: TLS + Tor handshake), later
+		// ones ride established streams (~1 RTT) plus queueing noise.
+		trips := 1.0
+		if pl.Start < 500*sim.Millisecond {
+			trips = 3.0
+		}
+		delay := sim.Duration(trips*rtt) + rng.DurLogNormal(sim.Duration(rtt/2)+1, 0.5, 0, 5*sim.Second)
+		pl.Start += delay
+
+		// Bandwidth ceiling: stretch the pulse to deliver the same
+		// packet count at the capped rate.
+		if pl.NetPacketsPerSec > c.BottleneckPPS {
+			stretch := pl.NetPacketsPerSec / c.BottleneckPPS
+			pl.Duration = sim.Duration(float64(pl.Duration) * stretch)
+			pl.NetPacketsPerSec = c.BottleneckPPS
+			// Dependent work spreads over the longer window.
+			pl.GfxPerSec /= stretch
+			pl.CPUBurstsPerSec /= stretch
+			pl.MemLinesPerSec /= stretch
+			pl.SoftirqsPerSec /= stretch
+		}
+		out.Pulses[i] = pl
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package tornet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/website"
+)
+
+func TestNewCircuitPlausible(t *testing.T) {
+	rng := sim.NewStream(1, "tor")
+	for i := 0; i < 200; i++ {
+		c := NewCircuit(rng)
+		if c.RTT() < 40*sim.Millisecond || c.RTT() > 3*sim.Second {
+			t.Fatalf("implausible RTT %v", c.RTT())
+		}
+		if c.BottleneckPPS < 250 || c.BottleneckPPS > 100000 {
+			t.Fatalf("implausible bandwidth %v", c.BottleneckPPS)
+		}
+	}
+	if NewCircuit(rng).String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestCircuitsVary(t *testing.T) {
+	rng := sim.NewStream(2, "tor")
+	a, b := NewCircuit(rng), NewCircuit(rng)
+	if a.RTT() == b.RTT() && a.BottleneckPPS == b.BottleneckPPS {
+		t.Fatal("circuits should differ")
+	}
+}
+
+func TestDistortDelaysAndCaps(t *testing.T) {
+	rng := sim.NewStream(3, "tor")
+	c := Circuit{HopRTT: [3]sim.Duration{50 * sim.Millisecond, 50 * sim.Millisecond, 100 * sim.Millisecond}, BottleneckPPS: 1000}
+	p := website.ProfileFor("amazon.com")
+	d := c.Distort(p, rng)
+	if d.Domain != p.Domain || len(d.Pulses) != len(p.Pulses) {
+		t.Fatal("shape")
+	}
+	for i := range p.Pulses {
+		if d.Pulses[i].Start <= p.Pulses[i].Start {
+			t.Fatalf("pulse %d not delayed", i)
+		}
+		if d.Pulses[i].NetPacketsPerSec > 1000+1e-9 {
+			t.Fatalf("pulse %d rate %v exceeds bottleneck", i, d.Pulses[i].NetPacketsPerSec)
+		}
+	}
+	// The heavy first pulse must be stretched, preserving packet volume.
+	origVol := p.Pulses[0].NetPacketsPerSec * p.Pulses[0].Duration.Seconds()
+	newVol := d.Pulses[0].NetPacketsPerSec * d.Pulses[0].Duration.Seconds()
+	if rel := newVol / origVol; rel < 0.99 || rel > 1.01 {
+		t.Fatalf("packet volume not preserved: %v vs %v", newVol, origVol)
+	}
+	if d.Pulses[0].Duration <= p.Pulses[0].Duration {
+		t.Fatal("heavy pulse not stretched")
+	}
+}
+
+func TestDistortEarlyPulsesWaitForHandshake(t *testing.T) {
+	rng := sim.NewStream(4, "tor")
+	c := Circuit{HopRTT: [3]sim.Duration{100 * sim.Millisecond, 100 * sim.Millisecond, 100 * sim.Millisecond}, BottleneckPPS: 1e6}
+	p := website.Profile{Domain: "x", Pulses: []website.Pulse{
+		{Start: 0, Duration: sim.Second, NetPacketsPerSec: 10},
+		{Start: 10 * sim.Second, Duration: sim.Second, NetPacketsPerSec: 10},
+	}}
+	d := c.Distort(p, rng)
+	earlyDelay := d.Pulses[0].Start - p.Pulses[0].Start
+	lateDelay := d.Pulses[1].Start - p.Pulses[1].Start
+	// Early pulse pays ~3 RTTs (900ms+), the late one ~1 RTT.
+	if earlyDelay < 900*sim.Millisecond {
+		t.Fatalf("early delay %v too small", earlyDelay)
+	}
+	if lateDelay >= earlyDelay {
+		t.Fatalf("late delay %v should be below early %v", lateDelay, earlyDelay)
+	}
+}
+
+// Property: distortion never produces negative times, zero durations, or
+// negative rates.
+func TestDistortValidityProperty(t *testing.T) {
+	p := website.ProfileFor("github.com")
+	f := func(seed uint64) bool {
+		rng := sim.NewStream(seed, "tor")
+		c := NewCircuit(rng)
+		d := c.Distort(p, rng)
+		for _, pl := range d.Pulses {
+			if pl.Start < 0 || pl.Duration <= 0 {
+				return false
+			}
+			if pl.NetPacketsPerSec < 0 || pl.SoftirqsPerSec < 0 || pl.MemLinesPerSec < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the dataset in long form: one row per sample with
+// columns trace_id, domain, label, attack, sample, value — convenient for
+// external plotting and analysis tools.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace_id", "domain", "label", "attack", "sample", "value"}); err != nil {
+		return err
+	}
+	for id, t := range d.Traces {
+		for i, v := range t.Values {
+			rec := []string{
+				strconv.Itoa(id), t.Domain, strconv.Itoa(t.Label), t.Attack,
+				strconv.Itoa(i), strconv.FormatFloat(v, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. NumClasses is inferred
+// from the largest label.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	if len(header) != 6 || header[0] != "trace_id" {
+		return nil, fmt.Errorf("trace: unexpected csv header %v", header)
+	}
+	d := &Dataset{}
+	byID := map[int]int{} // trace_id → index in d.Traces
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv read: %w", err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad trace_id %q", rec[0])
+		}
+		label, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad label %q", rec[2])
+		}
+		v, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad value %q", rec[5])
+		}
+		idx, ok := byID[id]
+		if !ok {
+			idx = len(d.Traces)
+			byID[id] = idx
+			d.Traces = append(d.Traces, Trace{Domain: rec[1], Label: label, Attack: rec[3]})
+		}
+		d.Traces[idx].Values = append(d.Traces[idx].Values, v)
+		if label+1 > d.NumClasses {
+			d.NumClasses = label + 1
+		}
+	}
+	return d, nil
+}
+
+// FilterLabels returns a new dataset containing only traces whose label is
+// in keep, with labels re-mapped to a dense 0..len(keep)-1 range in the
+// order given.
+func (d *Dataset) FilterLabels(keep []int) *Dataset {
+	remap := make(map[int]int, len(keep))
+	for i, l := range keep {
+		remap[l] = i
+	}
+	out := &Dataset{NumClasses: len(keep)}
+	for _, t := range d.Traces {
+		if nl, ok := remap[t.Label]; ok {
+			nt := t.Clone()
+			nt.Label = nl
+			out.Traces = append(out.Traces, nt)
+		}
+	}
+	return out
+}
+
+// Merge appends the traces of other (labels must already be consistent);
+// NumClasses becomes the maximum of the two.
+func (d *Dataset) Merge(other *Dataset) {
+	d.Traces = append(d.Traces, other.Traces...)
+	if other.NumClasses > d.NumClasses {
+		d.NumClasses = other.NumClasses
+	}
+}

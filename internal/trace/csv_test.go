@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := mkDataset(3, 2, 5)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumClasses != d.NumClasses {
+		t.Fatalf("round trip: %d/%d traces, %d/%d classes",
+			got.Len(), d.Len(), got.NumClasses, d.NumClasses)
+	}
+	for i := range d.Traces {
+		if got.Traces[i].Domain != d.Traces[i].Domain ||
+			got.Traces[i].Label != d.Traces[i].Label ||
+			got.Traces[i].Attack != d.Traces[i].Attack {
+			t.Fatalf("trace %d metadata mismatch", i)
+		}
+		for j := range d.Traces[i].Values {
+			if got.Traces[i].Values[j] != d.Traces[i].Values[j] {
+				t.Fatalf("trace %d value %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x,y\n1,2\n",
+		"trace_id,domain,label,attack,sample,value\nnope,d,0,a,0,1\n",
+		"trace_id,domain,label,attack,sample,value\n0,d,zz,a,0,1\n",
+		"trace_id,domain,label,attack,sample,value\n0,d,0,a,0,zz\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestFilterLabels(t *testing.T) {
+	d := mkDataset(4, 3, 5)
+	f := d.FilterLabels([]int{2, 0})
+	if f.NumClasses != 2 || f.Len() != 6 {
+		t.Fatalf("filtered: %d classes, %d traces", f.NumClasses, f.Len())
+	}
+	for _, tr := range f.Traces {
+		if tr.Label != 0 && tr.Label != 1 {
+			t.Fatalf("label %d not remapped", tr.Label)
+		}
+	}
+	// Old label 2 → new 0; old 0 → new 1.
+	if f.Traces[0].Label != 1 { // first traces in d are label 0
+		t.Fatalf("remap order: %d", f.Traces[0].Label)
+	}
+	// Filtering must not alias original values.
+	f.Traces[0].Values[0] = -999
+	if d.Traces[0].Values[0] == -999 {
+		t.Fatal("FilterLabels aliases source")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := mkDataset(2, 2, 4)
+	b := mkDataset(3, 1, 4)
+	a.Merge(b)
+	if a.Len() != 7 || a.NumClasses != 3 {
+		t.Fatalf("merged: %d traces, %d classes", a.Len(), a.NumClasses)
+	}
+}

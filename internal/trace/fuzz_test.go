@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV loader never panics and that everything it
+// accepts round-trips through WriteCSV → ReadCSV unchanged.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = mkDataset(2, 2, 3).WriteCSV(&seed)
+	f.Add(seed.String())
+	f.Add("trace_id,domain,label,attack,sample,value\n0,a.com,0,loop,0,1.5\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := d.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		d2, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("round trip lost traces: %d vs %d", d2.Len(), d.Len())
+		}
+	})
+}
+
+// FuzzReadGob checks gob decoding never panics on corrupt input.
+func FuzzReadGob(f *testing.F) {
+	var seed bytes.Buffer
+	_ = mkDataset(2, 2, 3).WriteGob(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x13})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		_, _ = ReadGob(bytes.NewReader(in)) // must not panic
+	})
+}

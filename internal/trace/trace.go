@@ -1,0 +1,216 @@
+// Package trace defines the side-channel trace and dataset types shared by
+// attackers, classifiers, and the experiment harness, along with
+// preprocessing (normalization, downsampling), stratified k-fold splitting,
+// and (de)serialization.
+package trace
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Trace is one recorded attack trace: counter values per period.
+type Trace struct {
+	// Domain is the website loaded while recording.
+	Domain string
+	// Label is the class index used for training (101 = the open-world
+	// "non-sensitive" class in open-world experiments).
+	Label int
+	// Attack names the attacker that produced the trace
+	// ("loop-counting", "sweep-counting").
+	Attack string
+	// Period is the attacker's sampling period P.
+	Period sim.Duration
+	// Values holds one counter value per period.
+	Values []float64
+}
+
+// Clone deep-copies the trace.
+func (t Trace) Clone() Trace {
+	v := make([]float64, len(t.Values))
+	copy(v, t.Values)
+	t.Values = v
+	return t
+}
+
+// Normalized returns the trace's values divided by their maximum, the
+// normalization the paper applies in Figure 4.
+func (t Trace) Normalized() []float64 { return stats.NormalizeMax(t.Values) }
+
+// Dataset is a labeled collection of traces.
+type Dataset struct {
+	Traces     []Trace
+	NumClasses int
+}
+
+// Len returns the number of traces.
+func (d *Dataset) Len() int { return len(d.Traces) }
+
+// Append adds a trace.
+func (d *Dataset) Append(t Trace) { d.Traces = append(d.Traces, t) }
+
+// Validate checks labels are within range and value lengths agree.
+func (d *Dataset) Validate() error {
+	if d.NumClasses <= 0 {
+		return errors.New("trace: dataset has no classes")
+	}
+	if len(d.Traces) == 0 {
+		return errors.New("trace: dataset is empty")
+	}
+	n := len(d.Traces[0].Values)
+	for i, t := range d.Traces {
+		if t.Label < 0 || t.Label >= d.NumClasses {
+			return fmt.Errorf("trace %d: label %d out of range [0,%d)", i, t.Label, d.NumClasses)
+		}
+		if len(t.Values) != n {
+			return fmt.Errorf("trace %d: length %d != %d", i, len(t.Values), n)
+		}
+	}
+	return nil
+}
+
+// ByClass groups trace indices by label.
+func (d *Dataset) ByClass() map[int][]int {
+	m := make(map[int][]int)
+	for i, t := range d.Traces {
+		m[t.Label] = append(m[t.Label], i)
+	}
+	return m
+}
+
+// Subset returns a new dataset containing the given trace indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{NumClasses: d.NumClasses, Traces: make([]Trace, 0, len(idx))}
+	for _, i := range idx {
+		out.Traces = append(out.Traces, d.Traces[i])
+	}
+	return out
+}
+
+// Fold is one cross-validation split of trace indices.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold produces k stratified folds: each class's traces are spread evenly
+// across test sets, as in the paper's 10-fold cross-validation (§4.1).
+func (d *Dataset) KFold(k int, seed uint64) ([]Fold, error) {
+	if k < 2 {
+		return nil, errors.New("trace: k must be >= 2")
+	}
+	if len(d.Traces) < k {
+		return nil, fmt.Errorf("trace: %d traces cannot fill %d folds", len(d.Traces), k)
+	}
+	rng := sim.NewStream(seed, "kfold")
+	testSets := make([][]int, k)
+	byClass := d.ByClass()
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	turn := 0
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			testSets[turn%k] = append(testSets[turn%k], i)
+			turn++
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		inTest := make(map[int]bool, len(testSets[f]))
+		for _, i := range testSets[f] {
+			inTest[i] = true
+		}
+		folds[f].Test = testSets[f]
+		for i := range d.Traces {
+			if !inTest[i] {
+				folds[f].Train = append(folds[f].Train, i)
+			}
+		}
+	}
+	return folds, nil
+}
+
+// Downsample reduces xs by averaging non-overlapping windows of `factor`
+// samples (trailing partial windows are averaged too).
+func Downsample(xs []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	out := make([]float64, 0, (len(xs)+factor-1)/factor)
+	for i := 0; i < len(xs); i += factor {
+		j := i + factor
+		if j > len(xs) {
+			j = len(xs)
+		}
+		var s float64
+		for _, v := range xs[i:j] {
+			s += v
+		}
+		out = append(out, s/float64(j-i))
+	}
+	return out
+}
+
+// WriteGob serializes the dataset with encoding/gob.
+func (d *Dataset) WriteGob(w io.Writer) error { return gob.NewEncoder(w).Encode(d) }
+
+// ReadGob deserializes a dataset written by WriteGob.
+func ReadGob(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: gob decode: %w", err)
+	}
+	return &d, nil
+}
+
+// WriteJSON serializes the dataset as JSON (interoperable with the paper's
+// Python tooling formats).
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: json decode: %w", err)
+	}
+	return &d, nil
+}
+
+// MeanTrace averages the given traces sample-wise (they must share length);
+// used for Figure 4's 100-run averaged plots.
+func MeanTrace(traces []Trace) ([]float64, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("trace: MeanTrace of empty set")
+	}
+	n := len(traces[0].Values)
+	out := make([]float64, n)
+	for _, t := range traces {
+		if len(t.Values) != n {
+			return nil, fmt.Errorf("trace: MeanTrace length mismatch %d != %d", len(t.Values), n)
+		}
+		for i, v := range t.Values {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(traces))
+	}
+	return out, nil
+}

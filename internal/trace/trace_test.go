@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func mkDataset(classes, perClass, n int) *Dataset {
+	d := &Dataset{NumClasses: classes}
+	for c := 0; c < classes; c++ {
+		for k := 0; k < perClass; k++ {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(c*1000 + k*10 + i)
+			}
+			d.Append(Trace{Domain: "d", Label: c, Attack: "loop-counting", Period: 5 * sim.Millisecond, Values: vals})
+		}
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	d := mkDataset(3, 2, 10)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := mkDataset(3, 2, 10)
+	bad.Traces[1].Label = 7
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	bad2 := mkDataset(3, 2, 10)
+	bad2.Traces[2].Values = bad2.Traces[2].Values[:5]
+	if bad2.Validate() == nil {
+		t.Fatal("ragged lengths accepted")
+	}
+	if (&Dataset{NumClasses: 1}).Validate() == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if (&Dataset{}).Validate() == nil {
+		t.Fatal("zero classes accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := Trace{Values: []float64{1, 2, 3}}
+	c := tr.Clone()
+	c.Values[0] = 99
+	if tr.Values[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	tr := Trace{Values: []float64{1, 2, 4}}
+	n := tr.Normalized()
+	if n[2] != 1 || n[0] != 0.25 {
+		t.Fatalf("Normalized = %v", n)
+	}
+}
+
+func TestByClassAndSubset(t *testing.T) {
+	d := mkDataset(3, 4, 5)
+	by := d.ByClass()
+	if len(by) != 3 || len(by[1]) != 4 {
+		t.Fatalf("ByClass = %v", by)
+	}
+	s := d.Subset([]int{0, 5, 11})
+	if s.Len() != 3 || s.Traces[1].Label != 1 {
+		t.Fatalf("Subset wrong: %+v", s.Traces)
+	}
+}
+
+func TestKFoldStratified(t *testing.T) {
+	d := mkDataset(5, 10, 4)
+	folds, err := d.KFold(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 10 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		if len(f.Test) != 5 { // 50 traces / 10 folds
+			t.Fatalf("test fold size = %d, want 5", len(f.Test))
+		}
+		if len(f.Train) != 45 {
+			t.Fatalf("train fold size = %d, want 45", len(f.Train))
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		// No overlap between train and test.
+		inTest := map[int]bool{}
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatal("train/test overlap")
+			}
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		if seen[i] != 1 {
+			t.Fatalf("trace %d appears in %d test folds", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	d := mkDataset(2, 2, 3)
+	if _, err := d.KFold(1, 0); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := d.KFold(10, 0); err == nil {
+		t.Fatal("k > len accepted")
+	}
+}
+
+// Property: k-fold partitions exactly, for any valid shape.
+func TestKFoldPartitionProperty(t *testing.T) {
+	f := func(cs, ps uint8) bool {
+		classes := int(cs)%5 + 2
+		per := int(ps)%6 + 2
+		d := mkDataset(classes, per, 3)
+		k := 2 + int(cs)%3
+		folds, err := d.KFold(k, 11)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, f := range folds {
+			total += len(f.Test)
+			if len(f.Test)+len(f.Train) != d.Len() {
+				return false
+			}
+		}
+		return total == d.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := Downsample(xs, 2)
+	want := []float64{1.5, 3.5, 5}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Downsample = %v, want %v", got, want)
+		}
+	}
+	id := Downsample(xs, 1)
+	for i := range xs {
+		if id[i] != xs[i] {
+			t.Fatal("factor=1 should copy")
+		}
+	}
+	id[0] = 99
+	if xs[0] == 99 {
+		t.Fatal("Downsample must not alias input")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	d := mkDataset(3, 2, 8)
+	var buf bytes.Buffer
+	if err := d.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClasses != 3 || got.Len() != 6 || got.Traces[5].Values[7] != d.Traces[5].Values[7] {
+		t.Fatal("gob round-trip mismatch")
+	}
+	if _, err := ReadGob(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage gob accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := mkDataset(2, 2, 4)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 || got.Traces[0].Attack != "loop-counting" {
+		t.Fatal("json round-trip mismatch")
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("garbage json accepted")
+	}
+}
+
+func TestMeanTrace(t *testing.T) {
+	ts := []Trace{
+		{Values: []float64{1, 2}},
+		{Values: []float64{3, 4}},
+	}
+	m, err := MeanTrace(ts)
+	if err != nil || m[0] != 2 || m[1] != 3 {
+		t.Fatalf("MeanTrace = %v, %v", m, err)
+	}
+	if _, err := MeanTrace(nil); err == nil {
+		t.Fatal("empty MeanTrace accepted")
+	}
+	ts[1].Values = []float64{1}
+	if _, err := MeanTrace(ts); err == nil {
+		t.Fatal("ragged MeanTrace accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package website
+
+// closedWorldDomains is the paper's Appendix A closed-world dataset: the
+// top-100 Alexa sites after the paper's exclusion rules.
+var closedWorldDomains = []string{
+	"1688.com", "6.cn", "adobe.com",
+	"alibaba.com", "aliexpress.com", "alipay.com",
+	"amazon.com", "aparat.com", "apple.com",
+	"babytree.com", "baidu.com", "bbc.com",
+	"bing.com", "booking.com", "canva.com",
+	"chase.com", "cnblogs.com", "cnn.com",
+	"csdn.net", "daum.net", "detik.com",
+	"dropbox.com", "ebay.com", "espn.com",
+	"etsy.com", "facebook.com", "fandom.com",
+	"force.com", "freepik.com", "github.com",
+	"godaddy.com", "gome.com.cn", "google.com",
+	"grammarly.com", "hao123.com", "haosou.com",
+	"xinhuanet.com", "huanqiu.com", "ilovepdf.com",
+	"imdb.com", "imgur.com", "indeed.com",
+	"instagram.com", "intuit.com", "jd.com",
+	"kompas.com", "linkedin.com", "live.com",
+	"mail.ru", "medium.com", "microsoft.com",
+	"msn.com", "myshopify.com", "naver.com",
+	"netflix.com", "nytimes.com", "office.com",
+	"ok.ru", "okezone.com", "panda.tv",
+	"paypal.com", "pikiran-rakyat.com", "pinterest.com",
+	"primevideo.com", "qq.com", "rakuten.co.jp",
+	"reddit.com", "rednet.cn", "roblox.com",
+	"salesforce.com", "savefrom.net", "sina.com.cn",
+	"slack.com", "so.com", "sohu.com",
+	"spotify.com", "stackoverflow.com", "taobao.com",
+	"telegram.org", "tianya.cn", "tiktok.com",
+	"tmall.com", "tradingview.com", "tribunnews.com",
+	"tumblr.com", "twitch.tv", "twitter.com",
+	"vk.com", "walmart.com", "weibo.com",
+	"wetransfer.com", "whatsapp.com", "wikipedia.org",
+	"wordpress.com", "yahoo.com", "youtube.com",
+	"yy.com", "zhanqi.tv", "zillow.com",
+	"zoom.us",
+}
+
+// ClosedWorldDomains returns the 100 closed-world domains (a copy).
+func ClosedWorldDomains() []string {
+	out := make([]string, len(closedWorldDomains))
+	copy(out, closedWorldDomains)
+	return out
+}

@@ -1,0 +1,155 @@
+package website
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestClosedWorldHas100UniqueDomains(t *testing.T) {
+	ds := ClosedWorldDomains()
+	if len(ds) != 100 {
+		t.Fatalf("closed world has %d domains, want 100", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d] {
+			t.Fatalf("duplicate domain %q", d)
+		}
+		seen[d] = true
+	}
+	// Returned slice must be a copy.
+	ds[0] = "mutated"
+	if ClosedWorldDomains()[0] == "mutated" {
+		t.Fatal("ClosedWorldDomains leaked internal slice")
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	a := ProfileFor("github.com")
+	b := ProfileFor("github.com")
+	if len(a.Pulses) != len(b.Pulses) {
+		t.Fatal("nondeterministic pulse count")
+	}
+	for i := range a.Pulses {
+		if a.Pulses[i] != b.Pulses[i] {
+			t.Fatalf("pulse %d differs between calls", i)
+		}
+	}
+}
+
+func TestProfilesDifferAcrossDomains(t *testing.T) {
+	a := ProfileFor("github.com")
+	b := ProfileFor("reddit.com")
+	same := len(a.Pulses) == len(b.Pulses)
+	if same {
+		for i := range a.Pulses {
+			if a.Pulses[i] != b.Pulses[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("distinct domains produced identical profiles")
+	}
+}
+
+func TestNamedProfiles(t *testing.T) {
+	ny := ProfileFor("nytimes.com")
+	// Activity concentrated in the first 4 s: late pulses must be weak.
+	for _, pl := range ny.Pulses {
+		if pl.Start > 4*sim.Second && pl.NetPacketsPerSec > 100 {
+			t.Fatalf("nytimes should be quiet after 4s, got pulse %+v", pl)
+		}
+	}
+	am := ProfileFor("amazon.com")
+	var spike5, spike10 bool
+	for _, pl := range am.Pulses {
+		if pl.Start == 5*sim.Second {
+			spike5 = true
+		}
+		if pl.Start == 10*sim.Second {
+			spike10 = true
+		}
+	}
+	if !spike5 || !spike10 {
+		t.Fatal("amazon profile must spike at 5s and 10s")
+	}
+	we := ProfileFor("weather.com")
+	if we.Pulses[0].MemLinesPerSec <= am.Pulses[0].MemLinesPerSec {
+		t.Fatal("weather.com should be memory-churn heavy")
+	}
+}
+
+func TestAllClosedWorldProfilesValid(t *testing.T) {
+	for _, d := range ClosedWorldDomains() {
+		p := ProfileFor(d)
+		if p.Domain != d {
+			t.Fatalf("profile domain %q != %q", p.Domain, d)
+		}
+		if len(p.Pulses) < 2 {
+			t.Fatalf("%s: only %d pulses", d, len(p.Pulses))
+		}
+		for i, pl := range p.Pulses {
+			if pl.Start < 0 || pl.Duration <= 0 {
+				t.Fatalf("%s pulse %d: bad timing %+v", d, i, pl)
+			}
+			if pl.NetPacketsPerSec < 0 || pl.MemLinesPerSec < 0 || pl.Load < 0 || pl.Load > 1 {
+				t.Fatalf("%s pulse %d: bad rates %+v", d, i, pl)
+			}
+			if pl.End() <= pl.Start {
+				t.Fatalf("%s pulse %d: End() <= Start", d, i)
+			}
+		}
+	}
+}
+
+func TestOpenWorldProfilesUniqueAndDeterministic(t *testing.T) {
+	a0, a1 := OpenWorldProfile(0), OpenWorldProfile(1)
+	if a0.Domain == a1.Domain {
+		t.Fatal("open-world domains must be unique")
+	}
+	b0 := OpenWorldProfile(0)
+	if a0.Pulses[0] != b0.Pulses[0] {
+		t.Fatal("open-world profile not deterministic")
+	}
+}
+
+func TestInstantiateJitters(t *testing.T) {
+	p := ProfileFor("github.com")
+	v1 := p.Instantiate(sim.NewStream(1, "visit"))
+	v2 := p.Instantiate(sim.NewStream(2, "visit"))
+	if v1.Pulses[0] == v2.Pulses[0] {
+		t.Fatal("different visit streams should jitter differently")
+	}
+	// Jitter must be bounded: rates stay within a broad band of the base.
+	for i := range p.Pulses {
+		base, got := p.Pulses[i].NetPacketsPerSec, v1.Pulses[i].NetPacketsPerSec
+		if base > 0 && (got < base/3 || got > base*3) {
+			t.Fatalf("pulse %d jittered rate %v too far from base %v", i, got, base)
+		}
+	}
+	if v1.Domain != p.Domain {
+		t.Fatal("Instantiate must keep the domain")
+	}
+}
+
+// Property: instantiation never produces negative times or non-positive
+// durations, for any seed.
+func TestInstantiateValidityProperty(t *testing.T) {
+	p := ProfileFor("wikipedia.org")
+	f := func(seed uint64) bool {
+		v := p.Instantiate(sim.NewStream(seed, "visit"))
+		for _, pl := range v.Pulses {
+			if pl.Start < 0 || pl.Duration < sim.Millisecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
