@@ -1,0 +1,36 @@
+# Build/verify entry points. `make ci` is the full gate the repo's tests
+# are expected to pass; individual targets exist for faster iteration.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-ml ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages (training engine, fold/collection pools)
+# under the race detector.
+race:
+	$(GO) test -race ./internal/ml ./internal/core
+
+# Full benchmark sweep (slow: regenerates every table/figure at bench scale).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Just the ML-engine benchmarks: training throughput and GEMM kernels.
+bench-ml:
+	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkGEMM|BenchmarkAblationClassifiers' -benchmem .
+
+ci: build vet test race
+
+clean:
+	$(GO) clean
+	rm -f cpu.prof mem.prof

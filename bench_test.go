@@ -9,6 +9,8 @@ package biggerfish
 // prints the full rows.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/attack"
@@ -299,6 +301,84 @@ func BenchmarkAblationSoftirqPolicy(b *testing.B) {
 				}
 				b.ReportMetric(res.Top1.Mean, "top1-%")
 			}
+		})
+	}
+}
+
+// benchTrainData builds a synthetic multi-class dataset of sinusoids for
+// training-throughput benchmarks (no simulation cost, pure ML work).
+func benchTrainData(n, length, classes int) ([]*ml.Tensor, []int) {
+	rng := sim.NewStream(31, "bench-train-data")
+	var X []*ml.Tensor
+	var y []int
+	for i := 0; i < n; i++ {
+		c := i % classes
+		v := make([]float64, length)
+		for t := range v {
+			v[t] = math.Sin(float64(t)*(0.03+0.02*float64(c))) + rng.Normal(0, 0.2)
+		}
+		X = append(X, ml.FromSeries(v))
+		y = append(y, c)
+	}
+	return X, y
+}
+
+// BenchmarkTrainPaperNet measures PaperNet training wall-clock, serial vs
+// data-parallel. Both legs train bit-identical models (the engine's shard
+// structure is independent of worker count); the reported top1-% metric
+// must therefore match between legs.
+func BenchmarkTrainPaperNet(b *testing.B) {
+	const classes = 5
+	X, y := benchTrainData(60, 300, classes)
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				model, err := ml.PaperNet(7, 300, classes, 16, 16, 0.2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = model.Fit(X, y, nil, nil, ml.FitConfig{
+					Epochs: 4, BatchSize: 16, LR: 0.003, Seed: 11,
+					Parallelism: mode.par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = model.AccuracyParallel(X, y, mode.par)
+			}
+			b.ReportMetric(100*acc, "top1-%")
+		})
+	}
+}
+
+// BenchmarkGEMM measures the matmul kernels behind Conv1D and the
+// recurrent layers at sizes spanning the cache-block boundaries.
+func BenchmarkGEMM(b *testing.B) {
+	rng := sim.NewStream(32, "bench-gemm")
+	for _, n := range []int{64, 128, 256} {
+		a := make([]float64, n*n)
+		bb := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.Uniform(-1, 1)
+			bb[i] = rng.Uniform(-1, 1)
+		}
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		b.Run(fmt.Sprintf("NN-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ml.GemmNN(n, n, n, a, n, bb, n, c, n, false)
+			}
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+		b.Run(fmt.Sprintf("NT-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ml.GemmNT(n, n, n, a, n, bb, n, c, n, false)
+			}
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 		})
 	}
 }

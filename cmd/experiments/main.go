@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-scale small|medium|full] [-only t1,t2,f3,...] [-out dir]
-//	            [-md report.md] [-seed N]
+//	            [-md report.md] [-seed N] [-cpuprofile f] [-memprofile f]
 //
 // The paper's full scale (100 sites × 100 traces + 5000 open world) takes
 // hours; "small" runs in about a minute and preserves every qualitative
@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -25,17 +27,55 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile-writing defers survive the error paths
+// (os.Exit would skip them).
+func run() int {
 	scale := flag.String("scale", "small", "experiment scale: small, medium, or full")
 	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,bg,f3,f4,f5,f6,f7,f8")
 	outDir := flag.String("out", "", "directory for CSV output (optional)")
 	mdPath := flag.String("md", "", "write a paper-vs-measured markdown report to this file")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sc, figRuns, err := scaleFor(*scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -48,7 +88,7 @@ func main() {
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	r := runner{sc: sc, figRuns: figRuns, outDir: *outDir, seed: *seed, md: &strings.Builder{}}
@@ -68,15 +108,16 @@ func main() {
 		}
 		if err := st.fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", st.key, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(r.md.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // scaleFor maps the scale name to dataset sizes and figure run counts.

@@ -125,6 +125,72 @@ func CollectOne(scn Scenario, profile website.Profile, label, visit int, root ui
 	return tr, nil
 }
 
+// collectJob describes one trace simulation: which site profile to visit,
+// the class label, the visit number, and the output slot.
+type collectJob struct {
+	profile website.Profile
+	label   int
+	visit   int
+	slot    int
+}
+
+// runCollectJobs executes the jobs across par workers (0 = NumCPU), failing
+// fast: the first error cancels all undispatched jobs, and in-flight workers
+// exit after their current job. The returned error wraps the failing job's
+// scenario, domain, and visit so a bad simulation is traceable without
+// rerunning the sweep.
+func runCollectJobs(scenario string, jobs []collectJob, par int, run func(collectJob) (trace.Trace, error)) ([]trace.Trace, error) {
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	results := make([]trace.Trace, len(jobs))
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	cancel := make(chan struct{})
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(cancel)
+		})
+	}
+	var wg sync.WaitGroup
+	ch := make(chan collectJob)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				tr, err := run(j)
+				if err != nil {
+					fail(fmt.Errorf("core: collect %q %s visit %d: %w",
+						scenario, j.profile.Domain, j.visit, err))
+					return
+				}
+				results[j.slot] = tr
+			}
+		}()
+	}
+produce:
+	for _, j := range jobs {
+		select {
+		case ch <- j:
+		case <-cancel:
+			break produce
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
 // CollectDataset builds the full labeled dataset for a scenario at the
 // given scale, simulating traces in parallel. Closed-world classes are the
 // first Sites domains of Appendix A; open-world traces (if any) share the
@@ -138,21 +204,15 @@ func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 	}
 	domains := website.ClosedWorldDomains()[:sc.Sites]
 
-	type job struct {
-		profile website.Profile
-		label   int
-		visit   int
-		slot    int
-	}
-	var jobs []job
+	var jobs []collectJob
 	for i, d := range domains {
 		p := website.ProfileFor(d)
 		for v := 0; v < sc.TracesPerSite; v++ {
-			jobs = append(jobs, job{profile: p, label: i, visit: v, slot: len(jobs)})
+			jobs = append(jobs, collectJob{profile: p, label: i, visit: v, slot: len(jobs)})
 		}
 	}
 	for k := 0; k < sc.OpenWorld; k++ {
-		jobs = append(jobs, job{
+		jobs = append(jobs, collectJob{
 			profile: website.OpenWorldProfile(k),
 			label:   sc.NonSensitiveLabel(),
 			visit:   0,
@@ -160,35 +220,11 @@ func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 		})
 	}
 
-	results := make([]trace.Trace, len(jobs))
-	errs := make([]error, len(jobs))
-	par := sc.Parallelism
-	if par <= 0 {
-		par = runtime.NumCPU()
-	}
-	if par > len(jobs) {
-		par = len(jobs)
-	}
-	var wg sync.WaitGroup
-	ch := make(chan job)
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				results[j.slot], errs[j.slot] = CollectOne(scn, j.profile, j.label, j.visit, sc.Seed)
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	results, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, func(j collectJob) (trace.Trace, error) {
+		return CollectOne(scn, j.profile, j.label, j.visit, sc.Seed)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	classes := sc.Sites

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/stats"
@@ -72,20 +74,72 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 	nsLabel := sc.NonSensitiveLabel()
 	openWorld := ds.NumClasses == sc.Sites+1
 
+	// Folds are independent train/test runs, so they execute concurrently;
+	// all metric merging below stays in fold order, making the result
+	// identical to the serial loop this replaces.
+	type foldOut struct {
+		scores [][]float64
+		labels []int
+		err    error
+	}
+	outs := make([]foldOut, len(folds))
+	workers := sc.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(folds) {
+		workers = len(folds)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range ch {
+				fold := folds[fi]
+				clf := mk(sc.Seed + uint64(fi))
+				if err := clf.Fit(ds.Subset(fold.Train)); err != nil {
+					outs[fi].err = fmt.Errorf("fold %d: %w", fi, err)
+					continue
+				}
+				labels := make([]int, len(fold.Test))
+				for ti, i := range fold.Test {
+					labels[ti] = ds.Traces[i].Label
+				}
+				var scores [][]float64
+				if bs, ok := clf.(ml.BatchScorer); ok {
+					vals := make([][]float64, len(fold.Test))
+					for ti, i := range fold.Test {
+						vals[ti] = ds.Traces[i].Values
+					}
+					scores = bs.ScoresBatch(vals)
+				} else {
+					scores = make([][]float64, len(fold.Test))
+					for ti, i := range fold.Test {
+						scores[ti] = clf.Scores(ds.Traces[i].Values)
+					}
+				}
+				outs[fi] = foldOut{scores: scores, labels: labels}
+			}
+		}()
+	}
+	for fi := range folds {
+		ch <- fi
+	}
+	close(ch)
+	wg.Wait()
+
 	confusion := stats.NewConfusionMatrix(ds.NumClasses)
 	var top1s, top5s, sens, nonsens, combined []float64
-	for fi, fold := range folds {
-		clf := mk(sc.Seed + uint64(fi))
-		if err := clf.Fit(ds.Subset(fold.Train)); err != nil {
-			return Result{}, fmt.Errorf("fold %d: %w", fi, err)
+	for fi := range folds {
+		out := outs[fi]
+		if out.err != nil {
+			return Result{}, out.err
 		}
-		var scores [][]float64
-		var labels []int
-		for _, i := range fold.Test {
-			s := clf.Scores(ds.Traces[i].Values)
-			scores = append(scores, s)
-			labels = append(labels, ds.Traces[i].Label)
-			confusion.Add(ds.Traces[i].Label, stats.ArgMax(s))
+		scores, labels := out.scores, out.labels
+		for ti, s := range scores {
+			confusion.Add(labels[ti], stats.ArgMax(s))
 		}
 		top1s = append(top1s, stats.TopKAccuracy(scores, labels, 1))
 		top5s = append(top5s, stats.TopKAccuracy(scores, labels, 5))

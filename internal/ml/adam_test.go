@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// refAdamStep is the pre-hoist reference update: the 1/batchSize scale is
+// applied per element inside the update rather than in a separate pass.
+func refAdamStep(a *Adam, params []*Param, m, v [][]float64, t int, batchSize int) {
+	bc1 := 1 - math.Pow(a.Beta1, float64(t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(t))
+	scale := 1 / float64(batchSize)
+	for pi, p := range params {
+		for i := range p.W {
+			g := p.G[i] * scale
+			m[pi][i] = a.Beta1*m[pi][i] + (1-a.Beta1)*g
+			v[pi][i] = a.Beta2*v[pi][i] + (1-a.Beta2)*g*g
+			p.W[i] -= a.LR * (m[pi][i] / bc1) / (math.Sqrt(v[pi][i]/bc2) + a.Eps)
+		}
+		p.zeroGrad()
+	}
+}
+
+// adamFixture returns a two-param model state and a deterministic gradient
+// schedule (sums over a batch of 4, as Fit accumulates them).
+func adamFixture() []*Param {
+	p1 := &Param{W: []float64{0.5, -0.3, 0.8, 0.1}, G: make([]float64, 4)}
+	p2 := &Param{W: []float64{-1.2, 0.05}, G: make([]float64, 2)}
+	return []*Param{p1, p2}
+}
+
+func fillGrads(params []*Param, step int) {
+	k := 0
+	for _, p := range params {
+		for i := range p.G {
+			// Batch-summed gradient: 4 × a smooth per-element value.
+			p.G[i] = 4 * math.Sin(float64(step)+0.7*float64(k))
+			k++
+		}
+	}
+}
+
+// TestAdamHoistMatchesReference proves the hoisted pre-scaling pass is
+// bit-identical to scaling inside the per-element update.
+func TestAdamHoistMatchesReference(t *testing.T) {
+	const batch = 4
+	hoisted := adamFixture()
+	ref := adamFixture()
+	opt := NewAdam(hoisted, 0.01)
+	refOpt := &Adam{LR: 0.01, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	refM := [][]float64{make([]float64, 4), make([]float64, 2)}
+	refV := [][]float64{make([]float64, 4), make([]float64, 2)}
+	for step := 1; step <= 20; step++ {
+		fillGrads(hoisted, step)
+		fillGrads(ref, step)
+		opt.Step(batch)
+		refAdamStep(refOpt, ref, refM, refV, step, batch)
+		for pi := range hoisted {
+			for i := range hoisted[pi].W {
+				if hoisted[pi].W[i] != ref[pi].W[i] {
+					t.Fatalf("step %d param %d elem %d: hoisted %v != reference %v",
+						step, pi, i, hoisted[pi].W[i], ref[pi].W[i])
+				}
+			}
+		}
+	}
+}
+
+// adamGolden holds the recorded weight trajectory (steps 5, 10, 20) of the
+// fixture above under lr=0.01, batch=4, captured before the scale hoist.
+// Run with -v to print fresh values if the fixture itself changes; any
+// other diff is an optimizer regression.
+var adamGolden = map[int][][]float64{
+	5: {
+		{0.4696740823746508, -0.31805939456084026, 0.79943397442294972, 0.11602352343998877},
+		{-1.1654563924123358, 0.074610731635867275},
+	},
+	10: {
+		{0.46345427105003084, -0.3226748022085183, 0.79843466685870412, 0.11944879720644806},
+		{-1.159407859829926, 0.080301842932770276},
+	},
+	20: {
+		{0.46387512884901055, -0.32167312609591153, 0.79962943993918001, 0.12019562045709628},
+		{-1.1594645755195714, 0.079551053354806472},
+	},
+}
+
+func TestAdamGoldenTrajectory(t *testing.T) {
+	const batch = 4
+	params := adamFixture()
+	opt := NewAdam(params, 0.01)
+	for step := 1; step <= 20; step++ {
+		fillGrads(params, step)
+		opt.Step(batch)
+		if want, ok := adamGolden[step]; ok {
+			for pi := range params {
+				for i, w := range params[pi].W {
+					if math.Abs(w-want[pi][i]) > 1e-15 {
+						t.Errorf("step %d param %d elem %d: got %.17g want %.17g",
+							step, pi, i, w, want[pi][i])
+					}
+				}
+			}
+		}
+		if testing.Verbose() && (step == 5 || step == 10 || step == 20) {
+			fmt.Printf("golden step %d: %v %v\n", step, params[0].W, params[1].W)
+		}
+	}
+}

@@ -19,6 +19,13 @@ type Classifier interface {
 	Scores(values []float64) []float64
 }
 
+// BatchScorer is an optional Classifier extension: score many traces in one
+// call so the implementation can parallelize across samples. Results must
+// equal calling Scores on each trace individually.
+type BatchScorer interface {
+	ScoresBatch(values [][]float64) [][]float64
+}
+
 // Preprocessor standardizes traces before classification: average-downsample
 // to a fixed length, optional smoothing, then z-score.
 type Preprocessor struct {
@@ -184,6 +191,9 @@ type LogReg struct {
 	Prep   Preprocessor
 	Epochs int
 	Seed   uint64
+	// Parallelism is the training/inference worker count (0 = GOMAXPROCS);
+	// the trained model is identical for every value.
+	Parallelism int
 
 	model *Sequential
 	inLen int
@@ -212,6 +222,7 @@ func (lr *LogReg) Fit(train *trace.Dataset) error {
 	lr.model = &Sequential{Layers: []Layer{NewDense(rng, lr.inLen, train.NumClasses)}}
 	return lr.model.Fit(X, y, nil, nil, FitConfig{
 		Epochs: lr.Epochs, BatchSize: 16, LR: 0.01, Seed: lr.Seed,
+		Parallelism: lr.Parallelism,
 	})
 }
 
@@ -229,6 +240,11 @@ func (lr *LogReg) Scores(values []float64) []float64 {
 	return lr.model.Predict(x)
 }
 
+// ScoresBatch scores traces concurrently (see BatchScorer).
+func (lr *LogReg) ScoresBatch(values [][]float64) [][]float64 {
+	return predictPrepped(lr.model, lr.Prep, lr.inLen, values, lr.Parallelism)
+}
+
 // CNNLSTM wraps PaperNet as a Classifier: the paper's architecture at a
 // configurable scale.
 type CNNLSTM struct {
@@ -241,6 +257,9 @@ type CNNLSTM struct {
 	// faster with a slightly higher rate.
 	LR   float64
 	Seed uint64
+	// Parallelism is the training/inference worker count (0 = GOMAXPROCS);
+	// the trained model is identical for every value.
+	Parallelism int
 
 	model *Sequential
 	inLen int
@@ -303,6 +322,7 @@ func (c *CNNLSTM) Fit(train *trace.Dataset) error {
 	return c.model.Fit(trX, trY, vaX, vaY, FitConfig{
 		Epochs: c.Epochs, BatchSize: 16, LR: c.LR,
 		Patience: 4, MinEpochs: 8, Seed: c.Seed,
+		Parallelism: c.Parallelism,
 	})
 }
 
@@ -315,6 +335,27 @@ func (c *CNNLSTM) Scores(values []float64) []float64 {
 		v = d
 	}
 	return c.model.Predict(FromSeries(v))
+}
+
+// ScoresBatch scores traces concurrently (see BatchScorer).
+func (c *CNNLSTM) ScoresBatch(values [][]float64) [][]float64 {
+	return predictPrepped(c.model, c.Prep, c.inLen, values, c.Parallelism)
+}
+
+// predictPrepped preprocesses every trace (padding/trimming to the trained
+// input length) and scores them with PredictBatch.
+func predictPrepped(model *Sequential, prep Preprocessor, inLen int, values [][]float64, par int) [][]float64 {
+	X := make([]*Tensor, len(values))
+	for i, raw := range values {
+		v := prep.Apply(raw)
+		if len(v) != inLen {
+			d := make([]float64, inLen)
+			copy(d, v)
+			v = d
+		}
+		X[i] = FromSeries(v)
+	}
+	return model.PredictBatch(X, par)
 }
 
 // SpectralCentroid is a nearest-centroid classifier over FFT magnitude

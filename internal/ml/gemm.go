@@ -1,0 +1,215 @@
+package ml
+
+// Cache-blocked float64 matrix kernels backing Conv1D, LSTM, GRU, and the
+// data-parallel trainer. All matrices are row-major with an explicit row
+// stride (lda/ldb/ldc), which lets Conv1D hand the kernels overlapping
+// im2col windows (row stride smaller than the row length) without ever
+// materializing the im2col matrix.
+//
+// Every kernel runs a fixed loop order, so for given inputs the
+// floating-point summation order — and therefore the result — is identical
+// across runs and worker counts. That property is what lets Fit promise
+// bit-identical training at any Parallelism.
+
+// Panel sizes: a K×N panel of B (gemmBlockK × gemmBlockN × 8 bytes = 128 KB)
+// stays resident in L2 while every row of A streams against it.
+const (
+	gemmBlockK = 128
+	gemmBlockN = 128
+)
+
+// axpy computes y += alpha * x over len(x) elements.
+func axpy(alpha float64, x, y []float64) {
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// axpy2 computes y += a0*x0 + a1*x1, touching y once for two source rows.
+func axpy2(a0 float64, x0 []float64, a1 float64, x1 []float64, y []float64) {
+	i := 0
+	for ; i+3 < len(y); i += 4 {
+		y[i] += a0*x0[i] + a1*x1[i]
+		y[i+1] += a0*x0[i+1] + a1*x1[i+1]
+		y[i+2] += a0*x0[i+2] + a1*x1[i+2]
+		y[i+3] += a0*x0[i+3] + a1*x1[i+3]
+	}
+	for ; i < len(y); i++ {
+		y[i] += a0*x0[i] + a1*x1[i]
+	}
+}
+
+// dot returns the inner product of x and y over len(x) elements.
+func dot(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// GemmNN computes C = A·B (or C += A·B with accumulate) for row-major
+// A (m×k, row stride lda), B (k×n, row stride ldb), C (m×n, row stride ldc).
+// Row strides may be smaller than the row length, in which case consecutive
+// rows alias (Conv1D's overlapping input windows); aliased C requires
+// accumulate, since the kernel only ever adds into C after initialization.
+func GemmNN(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, accumulate bool) {
+	if !accumulate {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	for k0 := 0; k0 < k; k0 += gemmBlockK {
+		kEnd := k0 + gemmBlockK
+		if kEnd > k {
+			kEnd = k
+		}
+		for j0 := 0; j0 < n; j0 += gemmBlockN {
+			jEnd := j0 + gemmBlockN
+			if jEnd > n {
+				jEnd = n
+			}
+			for i := 0; i < m; i++ {
+				arow := a[i*lda:]
+				crow := c[i*ldc+j0 : i*ldc+jEnd]
+				// Pair the rank-1 updates so C is touched once per two B
+				// rows; zero A entries (ReLU/dropout-sparse grads) still
+				// skip their row.
+				kk := k0
+				for ; kk+1 < kEnd; kk += 2 {
+					av0, av1 := arow[kk], arow[kk+1]
+					switch {
+					case av0 == 0 && av1 == 0:
+					case av0 == 0:
+						axpy(av1, b[(kk+1)*ldb+j0:(kk+1)*ldb+jEnd], crow)
+					case av1 == 0:
+						axpy(av0, b[kk*ldb+j0:kk*ldb+jEnd], crow)
+					default:
+						axpy2(av0, b[kk*ldb+j0:kk*ldb+jEnd],
+							av1, b[(kk+1)*ldb+j0:(kk+1)*ldb+jEnd], crow)
+					}
+				}
+				if kk < kEnd {
+					if av := arow[kk]; av != 0 {
+						axpy(av, b[kk*ldb+j0:kk*ldb+jEnd], crow)
+					}
+				}
+			}
+		}
+	}
+}
+
+// GemmNT computes C = A·Bᵀ (or C += A·Bᵀ) for row-major A (m×k, stride lda),
+// B (n×k, stride ldb), C (m×n, stride ldc): every C entry is a dot product
+// of two contiguous rows.
+func GemmNT(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, accumulate bool) {
+	if !accumulate {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	for k0 := 0; k0 < k; k0 += gemmBlockK {
+		kEnd := k0 + gemmBlockK
+		if kEnd > k {
+			kEnd = k
+		}
+		for j0 := 0; j0 < n; j0 += gemmBlockN {
+			jEnd := j0 + gemmBlockN
+			if jEnd > n {
+				jEnd = n
+			}
+			for i := 0; i < m; i++ {
+				arow := a[i*lda+k0 : i*lda+kEnd]
+				crow := c[i*ldc:]
+				// 1×4 micro-kernel: four B rows share each load of A,
+				// quartering the traffic on the dominant stream.
+				j := j0
+				for ; j+3 < jEnd; j += 4 {
+					b0 := b[j*ldb+k0 : j*ldb+kEnd]
+					b1 := b[(j+1)*ldb+k0 : (j+1)*ldb+kEnd]
+					b2 := b[(j+2)*ldb+k0 : (j+2)*ldb+kEnd]
+					b3 := b[(j+3)*ldb+k0 : (j+3)*ldb+kEnd]
+					var s0, s1, s2, s3 float64
+					for p, av := range arow {
+						s0 += av * b0[p]
+						s1 += av * b1[p]
+						s2 += av * b2[p]
+						s3 += av * b3[p]
+					}
+					crow[j] += s0
+					crow[j+1] += s1
+					crow[j+2] += s2
+					crow[j+3] += s3
+				}
+				for ; j < jEnd; j++ {
+					crow[j] += dot(arow, b[j*ldb+k0:j*ldb+kEnd])
+				}
+			}
+		}
+	}
+}
+
+// gemmATB computes C += Aᵀ·B for row-major A (m×k, stride lda), B (m×n,
+// stride ldb), C (k×n, stride ldc) — the shape of every weight-gradient
+// accumulation (dW += gradᵀ·activations). The j-outer order keeps each C
+// row register/L1-resident while B streams.
+func gemmATB(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for j := 0; j < k; j++ {
+		crow := c[j*ldc : j*ldc+n]
+		i := 0
+		for ; i+1 < m; i += 2 {
+			av0, av1 := a[i*lda+j], a[(i+1)*lda+j]
+			switch {
+			case av0 == 0 && av1 == 0:
+			case av0 == 0:
+				axpy(av1, b[(i+1)*ldb:(i+1)*ldb+n], crow)
+			case av1 == 0:
+				axpy(av0, b[i*ldb:i*ldb+n], crow)
+			default:
+				axpy2(av0, b[i*ldb:i*ldb+n], av1, b[(i+1)*ldb:(i+1)*ldb+n], crow)
+			}
+		}
+		if i < m {
+			if av := a[i*lda+j]; av != 0 {
+				axpy(av, b[i*ldb:i*ldb+n], crow)
+			}
+		}
+	}
+}
+
+// gemv computes y += A·x for row-major A (m×n, stride lda), x (n), y (m).
+func gemv(m, n int, a []float64, lda int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		y[i] += dot(a[i*lda:i*lda+n], x)
+	}
+}
+
+// gemvT computes y += Aᵀ·x for row-major A (m×n, stride lda), x (m), y (n).
+func gemvT(m, n int, a []float64, lda int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		if xv := x[i]; xv != 0 {
+			axpy(xv, a[i*lda:i*lda+n], y)
+		}
+	}
+}

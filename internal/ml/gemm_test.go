@@ -1,0 +1,230 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// naiveGemmNN computes C [+]= A·B with plain triple loops.
+func naiveGemmNN(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, accumulate bool) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for p := 0; p < k; p++ {
+				sum += a[i*lda+p] * b[p*ldb+j]
+			}
+			if accumulate {
+				c[i*ldc+j] += sum
+			} else {
+				c[i*ldc+j] = sum
+			}
+		}
+	}
+}
+
+func naiveGemmNT(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, accumulate bool) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for p := 0; p < k; p++ {
+				sum += a[i*lda+p] * b[j*ldb+p]
+			}
+			if accumulate {
+				c[i*ldc+j] += sum
+			} else {
+				c[i*ldc+j] = sum
+			}
+		}
+	}
+}
+
+func naiveATB(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < k; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for t := 0; t < m; t++ {
+				sum += a[t*lda+i] * b[t*ldb+j]
+			}
+			c[i*ldc+j] += sum
+		}
+	}
+}
+
+func randSlice(rng *sim.Stream, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Uniform(-1, 1)
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Shapes cross the k/n blocking boundaries (128) and include tiny cases.
+var gemmShapes = []struct{ m, n, k int }{
+	{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {7, 200, 9}, {5, 9, 300}, {33, 150, 150},
+}
+
+func TestGemmNNMatchesNaive(t *testing.T) {
+	rng := sim.NewStream(11, "gemm-nn")
+	for _, s := range gemmShapes {
+		a := randSlice(rng, s.m*s.k)
+		b := randSlice(rng, s.k*s.n)
+		got := randSlice(rng, s.m*s.n)
+		want := append([]float64(nil), got...)
+		for _, acc := range []bool{false, true} {
+			GemmNN(s.m, s.n, s.k, a, s.k, b, s.n, got, s.n, acc)
+			naiveGemmNN(s.m, s.n, s.k, a, s.k, b, s.n, want, s.n, acc)
+			if d := maxAbsDiff(got, want); d > 1e-9*float64(s.k) {
+				t.Errorf("GemmNN %dx%dx%d acc=%v: max diff %g", s.m, s.n, s.k, acc, d)
+			}
+		}
+	}
+}
+
+func TestGemmNTMatchesNaive(t *testing.T) {
+	rng := sim.NewStream(12, "gemm-nt")
+	for _, s := range gemmShapes {
+		a := randSlice(rng, s.m*s.k)
+		b := randSlice(rng, s.n*s.k)
+		got := randSlice(rng, s.m*s.n)
+		want := append([]float64(nil), got...)
+		for _, acc := range []bool{false, true} {
+			GemmNT(s.m, s.n, s.k, a, s.k, b, s.k, got, s.n, acc)
+			naiveGemmNT(s.m, s.n, s.k, a, s.k, b, s.k, want, s.n, acc)
+			if d := maxAbsDiff(got, want); d > 1e-9*float64(s.k) {
+				t.Errorf("GemmNT %dx%dx%d acc=%v: max diff %g", s.m, s.n, s.k, acc, d)
+			}
+		}
+	}
+}
+
+func TestGemmATBMatchesNaive(t *testing.T) {
+	rng := sim.NewStream(13, "gemm-atb")
+	for _, s := range gemmShapes {
+		a := randSlice(rng, s.m*s.k)
+		b := randSlice(rng, s.m*s.n)
+		got := randSlice(rng, s.k*s.n)
+		want := append([]float64(nil), got...)
+		gemmATB(s.m, s.k, s.n, a, s.k, b, s.n, got, s.n)
+		naiveATB(s.m, s.k, s.n, a, s.k, b, s.n, want, s.n)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(s.m) {
+			t.Errorf("gemmATB %dx%dx%d: max diff %g", s.m, s.k, s.n, d)
+		}
+	}
+}
+
+// TestGemmStridedWindows exercises the conv trick: A's rows are overlapping
+// windows of one buffer (row stride < row length), and for GemmNN the
+// aliased-C accumulate form adds into overlapping dx rows.
+func TestGemmStridedWindows(t *testing.T) {
+	rng := sim.NewStream(14, "gemm-strided")
+	const (
+		T      = 40 // input steps
+		in     = 3
+		kernel = 8
+		stride = 2
+		out    = 5
+	)
+	outT := (T-kernel)/stride + 1
+	kIn := kernel * in
+	x := randSlice(rng, T*in)
+	w := randSlice(rng, out*kIn)
+
+	// Forward: out = windows(x)·Wᵀ with row stride stride*in.
+	got := make([]float64, outT*out)
+	GemmNT(outT, out, kIn, x, stride*in, w, kIn, got, out, false)
+	want := make([]float64, outT*out)
+	for t0 := 0; t0 < outT; t0++ {
+		win := x[t0*stride*in : t0*stride*in+kIn]
+		for o := 0; o < out; o++ {
+			var sum float64
+			for i := 0; i < kIn; i++ {
+				sum += win[i] * w[o*kIn+i]
+			}
+			want[t0*out+o] = sum
+		}
+	}
+	if d := maxAbsDiff(got, want); d > 1e-10*float64(kIn) {
+		t.Fatalf("strided GemmNT: max diff %g", d)
+	}
+
+	// Backward dx: overlapping C rows, accumulate form.
+	grad := randSlice(rng, outT*out)
+	dx := make([]float64, T*in)
+	GemmNN(outT, kIn, out, grad, out, w, kIn, dx, stride*in, true)
+	dxWant := make([]float64, T*in)
+	for t0 := 0; t0 < outT; t0++ {
+		for i := 0; i < kIn; i++ {
+			var sum float64
+			for o := 0; o < out; o++ {
+				sum += grad[t0*out+o] * w[o*kIn+i]
+			}
+			dxWant[t0*stride*in+i] += sum
+		}
+	}
+	if d := maxAbsDiff(dx, dxWant); d > 1e-10*float64(kIn) {
+		t.Fatalf("strided accumulate GemmNN: max diff %g", d)
+	}
+}
+
+func TestGemvAndHelpers(t *testing.T) {
+	rng := sim.NewStream(15, "gemv")
+	const m, n = 37, 23
+	a := randSlice(rng, m*n)
+	x := randSlice(rng, n)
+	xm := randSlice(rng, m)
+
+	y := randSlice(rng, m)
+	want := append([]float64(nil), y...)
+	gemv(m, n, a, n, x, y)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += a[i*n+j] * x[j]
+		}
+	}
+	if d := maxAbsDiff(y, want); d > 1e-10*float64(n) {
+		t.Errorf("gemv: max diff %g", d)
+	}
+
+	yt := randSlice(rng, n)
+	wantT := append([]float64(nil), yt...)
+	gemvT(m, n, a, n, xm, yt)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			wantT[j] += a[i*n+j] * xm[i]
+		}
+	}
+	if d := maxAbsDiff(yt, wantT); d > 1e-10*float64(m) {
+		t.Errorf("gemvT: max diff %g", d)
+	}
+
+	u := randSlice(rng, 101)
+	v := randSlice(rng, 101)
+	vv := append([]float64(nil), v...)
+	axpy(0.37, u, v)
+	for i := range vv {
+		vv[i] += 0.37 * u[i]
+	}
+	if d := maxAbsDiff(v, vv); d > 1e-12 {
+		t.Errorf("axpy: max diff %g", d)
+	}
+
+	var dref float64
+	for i := range u {
+		dref += u[i] * vv[i]
+	}
+	if d := math.Abs(dot(u, vv) - dref); d > 1e-10 {
+		t.Errorf("dot: diff %g", d)
+	}
+}

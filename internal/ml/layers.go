@@ -10,11 +10,26 @@ import (
 // activation; Backward consumes dL/d(output) and returns dL/d(input),
 // accumulating parameter gradients. Layers are stateful between Forward and
 // Backward (single-sample training; minibatches accumulate gradients across
-// samples before an optimizer step).
+// samples before an optimizer step). Returned tensors are owned by the
+// layer and remain valid only until its next Forward/Backward call.
 type Layer interface {
 	Forward(x *Tensor, train bool) *Tensor
 	Backward(grad *Tensor) *Tensor
 	Params() []*Param
+}
+
+// replicable layers can produce a data-parallel replica: a copy sharing the
+// original's weight storage but owning its gradient accumulators and all
+// activation state, so replicas on different workers never race.
+type replicable interface {
+	replica() Layer
+}
+
+// sampleAware layers derive per-sample randomness (dropout masks) from a
+// global sample index rather than a sequential stream, so training is
+// deterministic regardless of how samples are sharded across workers.
+type sampleAware interface {
+	setSample(n uint64)
 }
 
 // initUniform fills w with Glorot-style uniform values.
@@ -31,7 +46,8 @@ type Dense struct {
 	w       *Param // Out×In
 	b       *Param
 
-	x *Tensor // saved input (flattened view)
+	x        *Tensor // saved input (flattened view)
+	out, dxb *Tensor
 }
 
 // NewDense creates a Dense layer with Glorot initialization.
@@ -47,33 +63,26 @@ func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
 		panic("ml: Dense input size mismatch")
 	}
 	d.x = x
-	out := NewTensor(1, d.Out)
+	d.out = ensure(d.out, 1, d.Out)
 	for o := 0; o < d.Out; o++ {
-		s := d.b.W[o]
-		row := d.w.W[o*d.In : (o+1)*d.In]
-		for i, xv := range x.Data {
-			s += row[i] * xv
-		}
-		out.Data[o] = s
+		d.out.Data[o] = d.b.W[o] + dot(d.w.W[o*d.In:(o+1)*d.In], x.Data)
 	}
-	return out
+	return d.out
 }
 
 // Backward accumulates dW, db and returns dx.
 func (d *Dense) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(d.x.Rows, d.x.Cols)
+	d.dxb = ensure(d.dxb, d.x.Rows, d.x.Cols)
+	dx := d.dxb
+	zeroF(dx.Data)
 	for o := 0; o < d.Out; o++ {
 		g := grad.Data[o]
 		if g == 0 {
 			continue
 		}
 		d.b.G[o] += g
-		row := d.w.W[o*d.In : (o+1)*d.In]
-		grow := d.w.G[o*d.In : (o+1)*d.In]
-		for i, xv := range d.x.Data {
-			grow[i] += g * xv
-			dx.Data[i] += g * row[i]
-		}
+		axpy(g, d.x.Data, d.w.G[o*d.In:(o+1)*d.In])
+		axpy(g, d.w.W[o*d.In:(o+1)*d.In], dx.Data)
 	}
 	return dx
 }
@@ -81,49 +90,61 @@ func (d *Dense) Backward(grad *Tensor) *Tensor {
 // Params returns the layer's learnables.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
+func (d *Dense) replica() Layer {
+	return &Dense{In: d.In, Out: d.Out, w: d.w.sharedGrad(), b: d.b.sharedGrad()}
+}
+
 // ReLU is an elementwise rectifier.
-type ReLU struct{ mask []bool }
+type ReLU struct {
+	mask     []float64 // 1 where the input was positive, else 0
+	out, dxb *Tensor
+}
 
 // Forward zeroes negatives.
 func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
-	out := x.Clone()
-	if cap(r.mask) < len(x.Data) {
-		r.mask = make([]bool, len(x.Data))
-	}
-	r.mask = r.mask[:len(x.Data)]
+	r.out = ensure(r.out, x.Rows, x.Cols)
+	r.mask = growF(r.mask, len(x.Data))
+	out, mask := r.out.Data[:len(x.Data)], r.mask[:len(x.Data)]
 	for i, v := range x.Data {
-		if v <= 0 {
-			out.Data[i] = 0
-			r.mask[i] = false
+		if v > 0 {
+			out[i], mask[i] = v, 1
 		} else {
-			r.mask[i] = true
+			out[i], mask[i] = 0, 0
 		}
 	}
-	return out
+	return r.out
 }
 
-// Backward passes gradient through positive entries.
+// Backward passes gradient through positive entries (branchless multiply by
+// the 0/1 mask).
 func (r *ReLU) Backward(grad *Tensor) *Tensor {
-	out := grad.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
-		}
+	r.dxb = ensure(r.dxb, grad.Rows, grad.Cols)
+	dx, mask := r.dxb.Data[:len(grad.Data)], r.mask[:len(grad.Data)]
+	for i, v := range grad.Data {
+		dx[i] = v * mask[i]
 	}
-	return out
+	return r.dxb
 }
 
 // Params returns nil; ReLU has no learnables.
 func (r *ReLU) Params() []*Param { return nil }
 
+func (r *ReLU) replica() Layer { return &ReLU{} }
+
 // Conv1D convolves along time (valid padding) with the given stride.
+//
+// Because inputs are row-major with channels contiguous per time step, each
+// kernel window is one contiguous slice of the input, so forward/backward
+// run as strided GEMMs against the weight matrix with no im2col copy: the
+// "im2col matrix" is the input itself viewed with row stride Stride·In.
 type Conv1D struct {
 	In, Out, Kernel, Stride int
 	w                       *Param // Out × (Kernel*In)
 	b                       *Param
 
-	x    *Tensor
-	outT int
+	x        *Tensor
+	outT     int
+	out, dxb *Tensor
 }
 
 // NewConv1D creates a 1-D convolution layer.
@@ -144,7 +165,7 @@ func (c *Conv1D) outLen(inT int) int {
 	return (inT-c.Kernel)/c.Stride + 1
 }
 
-// Forward computes the valid cross-correlation.
+// Forward computes the valid cross-correlation as out = windows(x)·Wᵀ + b.
 func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
 	if x.Cols != c.In {
 		panic("ml: Conv1D channel mismatch")
@@ -154,60 +175,51 @@ func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
 	if c.outT == 0 {
 		panic("ml: Conv1D input shorter than kernel")
 	}
-	out := NewTensor(c.outT, c.Out)
+	c.out = ensure(c.out, c.outT, c.Out)
 	kIn := c.Kernel * c.In
 	for t := 0; t < c.outT; t++ {
-		base := t * c.Stride * c.In
-		window := x.Data[base : base+kIn]
-		orow := out.Row(t)
-		for o := 0; o < c.Out; o++ {
-			s := c.b.W[o]
-			wrow := c.w.W[o*kIn : (o+1)*kIn]
-			for i, xv := range window {
-				s += wrow[i] * xv
-			}
-			orow[o] = s
-		}
+		copy(c.out.Row(t), c.b.W)
 	}
-	return out
+	GemmNT(c.outT, c.Out, kIn, x.Data, c.Stride*c.In, c.w.W, kIn, c.out.Data, c.Out, true)
+	return c.out
 }
 
-// Backward accumulates dW, db and returns dx.
+// Backward accumulates dW, db and returns dx. Both weight and input
+// gradients are GEMMs over the same strided window view used by Forward;
+// dx rows overlap when Stride < Kernel, which the accumulate form of
+// GemmNN handles by adding in place.
 func (c *Conv1D) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(c.x.Rows, c.x.Cols)
+	c.dxb = ensure(c.dxb, c.x.Rows, c.x.Cols)
+	dx := c.dxb
+	zeroF(dx.Data)
 	kIn := c.Kernel * c.In
 	for t := 0; t < c.outT; t++ {
-		base := t * c.Stride * c.In
-		window := c.x.Data[base : base+kIn]
-		dwindow := dx.Data[base : base+kIn]
 		grow := grad.Row(t)
-		for o := 0; o < c.Out; o++ {
-			g := grow[o]
-			if g == 0 {
-				continue
-			}
+		for o, g := range grow {
 			c.b.G[o] += g
-			wrow := c.w.W[o*kIn : (o+1)*kIn]
-			wgrow := c.w.G[o*kIn : (o+1)*kIn]
-			for i, xv := range window {
-				wgrow[i] += g * xv
-				dwindow[i] += g * wrow[i]
-			}
 		}
 	}
+	gemmATB(c.outT, c.Out, kIn, grad.Data, c.Out, c.x.Data, c.Stride*c.In, c.w.G, kIn)
+	GemmNN(c.outT, kIn, c.Out, grad.Data, c.Out, c.w.W, kIn, dx.Data, c.Stride*c.In, true)
 	return dx
 }
 
 // Params returns the layer's learnables.
 func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
 
+func (c *Conv1D) replica() Layer {
+	return &Conv1D{In: c.In, Out: c.Out, Kernel: c.Kernel, Stride: c.Stride,
+		w: c.w.sharedGrad(), b: c.b.sharedGrad()}
+}
+
 // MaxPool1D pools over non-overlapping time windows per channel.
 type MaxPool1D struct {
 	Size int
 
-	argmax []int
-	inT    int
-	cols   int
+	argmax   []int
+	inT      int
+	cols     int
+	out, dxb *Tensor
 }
 
 // Forward takes the per-window per-channel maximum.
@@ -220,34 +232,47 @@ func (m *MaxPool1D) Forward(x *Tensor, train bool) *Tensor {
 		outT = 1 // degenerate: single window over everything available
 	}
 	m.inT, m.cols = x.Rows, x.Cols
-	out := NewTensor(outT, x.Cols)
-	m.argmax = make([]int, outT*x.Cols)
+	m.out = ensure(m.out, outT, x.Cols)
+	if cap(m.argmax) < outT*x.Cols {
+		m.argmax = make([]int, outT*x.Cols)
+	}
+	m.argmax = m.argmax[:outT*x.Cols]
 	for t := 0; t < outT; t++ {
 		lo := t * m.Size
 		hi := lo + m.Size
 		if hi > x.Rows || t == outT-1 {
 			hi = x.Rows
 		}
-		for c := 0; c < x.Cols; c++ {
-			best, bestIdx := math.Inf(-1), lo
-			for r := lo; r < hi; r++ {
-				if v := x.At(r, c); v > best {
-					best, bestIdx = v, r
+		outRow := m.out.Row(t)
+		amRow := m.argmax[t*x.Cols : (t+1)*x.Cols]
+		// Seed from the first window row, then fold in the rest row-wise
+		// (contiguous scans instead of per-element strided indexing).
+		copy(outRow, x.Row(lo))
+		for c := range amRow {
+			amRow[c] = lo
+		}
+		for r := lo + 1; r < hi; r++ {
+			xRow := x.Row(r)
+			for c, v := range xRow {
+				if v > outRow[c] {
+					outRow[c], amRow[c] = v, r
 				}
 			}
-			out.Set(t, c, best)
-			m.argmax[t*x.Cols+c] = bestIdx
 		}
 	}
-	return out
+	return m.out
 }
 
 // Backward routes gradients to the argmax positions.
 func (m *MaxPool1D) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(m.inT, m.cols)
+	m.dxb = ensure(m.dxb, m.inT, m.cols)
+	dx := m.dxb
+	zeroF(dx.Data)
 	for t := 0; t < grad.Rows; t++ {
-		for c := 0; c < grad.Cols; c++ {
-			dx.Set(m.argmax[t*grad.Cols+c], c, dx.At(m.argmax[t*grad.Cols+c], c)+grad.At(t, c))
+		gRow := grad.Row(t)
+		amRow := m.argmax[t*grad.Cols : (t+1)*grad.Cols]
+		for c, g := range gRow {
+			dx.Data[amRow[c]*m.cols+c] += g
 		}
 	}
 	return dx
@@ -256,54 +281,70 @@ func (m *MaxPool1D) Backward(grad *Tensor) *Tensor {
 // Params returns nil; pooling has no learnables.
 func (m *MaxPool1D) Params() []*Param { return nil }
 
+func (m *MaxPool1D) replica() Layer { return &MaxPool1D{Size: m.Size} }
+
 // Dropout zeroes activations with probability Rate during training
-// (inverted dropout: survivors are scaled by 1/(1-Rate)).
+// (inverted dropout: survivors are scaled by 1/(1-Rate)). Masks are a pure
+// function of (layer seed, sample index), so the training trajectory does
+// not depend on the order workers process samples.
 type Dropout struct {
 	Rate float64
-	rng  *sim.Stream
 
-	mask []float64
+	seed     uint64
+	sample   uint64
+	mask     []float64
+	out, dxb *Tensor
 }
 
-// NewDropout creates a dropout layer with its own random stream.
+// NewDropout creates a dropout layer seeded from the given stream.
 func NewDropout(rng *sim.Stream, rate float64) *Dropout {
 	if rate < 0 || rate >= 1 {
 		panic("ml: dropout rate must be in [0,1)")
 	}
-	return &Dropout{Rate: rate, rng: rng}
+	return &Dropout{Rate: rate, seed: rng.Uint64()}
 }
+
+// setSample selects the sample index the next training Forward masks for.
+func (d *Dropout) setSample(n uint64) { d.sample = n }
 
 // Forward applies the mask in training mode, identity at inference.
 func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
-	out := x.Clone()
+	d.out = ensure(d.out, x.Rows, x.Cols)
 	if !train || d.Rate == 0 {
 		d.mask = nil
-		return out
+		copy(d.out.Data, x.Data)
+		return d.out
 	}
-	d.mask = make([]float64, len(x.Data))
+	// splitmix-style mix keeps per-sample streams decorrelated.
+	rng := sim.NewStream(d.seed^(d.sample*0x9e3779b97f4a7c15+0x632be59bd9b4e019), "dropout-mask")
+	d.mask = growF(d.mask, len(x.Data))
 	scale := 1 / (1 - d.Rate)
-	for i := range x.Data {
-		if d.rng.Float64() < d.Rate {
-			out.Data[i] = 0
+	for i, v := range x.Data {
+		if rng.Float64() < d.Rate {
+			d.out.Data[i] = 0
+			d.mask[i] = 0
 		} else {
 			d.mask[i] = scale
-			out.Data[i] *= scale
+			d.out.Data[i] = v * scale
 		}
 	}
-	return out
+	return d.out
 }
 
 // Backward applies the same mask to the gradient.
 func (d *Dropout) Backward(grad *Tensor) *Tensor {
-	out := grad.Clone()
+	d.dxb = ensure(d.dxb, grad.Rows, grad.Cols)
 	if d.mask == nil {
-		return out
+		copy(d.dxb.Data, grad.Data)
+		return d.dxb
 	}
-	for i := range out.Data {
-		out.Data[i] *= d.mask[i]
+	for i, v := range grad.Data {
+		d.dxb.Data[i] = v * d.mask[i]
 	}
-	return out
+	return d.dxb
 }
 
 // Params returns nil; dropout has no learnables.
 func (d *Dropout) Params() []*Param { return nil }
+
+func (d *Dropout) replica() Layer { return &Dropout{Rate: d.Rate, seed: d.seed} }

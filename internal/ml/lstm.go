@@ -9,6 +9,12 @@ import (
 // LSTM is a single-layer long short-term memory network returning the final
 // hidden state (the shape the paper's classifier uses before its dense
 // softmax layer).
+//
+// The input-to-gate projection for every time step is one GEMM
+// (pre = b + x·Wxᵀ); only the recurrent Wh·h term and the gate
+// nonlinearities run per step. Backward mirrors this: the per-step loop
+// only propagates the recurrence, and all parameter/input gradients reduce
+// to three GEMMs over the stored dpre matrix.
 type LSTM struct {
 	In, Hidden int
 
@@ -16,11 +22,18 @@ type LSTM struct {
 	wh *Param // 4H × H
 	b  *Param // 4H
 
-	// Saved forward state for BPTT.
+	// Saved forward state for BPTT. pre holds the T×4H pre-activations
+	// during Forward and is reused as the dpre matrix during Backward.
 	x     *Tensor
 	gates []float64 // T × 4H, post-activation
 	cells []float64 // T × H
 	hids  []float64 // T × H
+	pre   []float64 // T × 4H
+	h0    []float64 // H zeros (initial state)
+	dh    []float64
+	dc    []float64
+	out   *Tensor
+	dxb   *Tensor
 }
 
 // NewLSTM creates an LSTM with Glorot-initialized weights and forget-gate
@@ -48,28 +61,23 @@ func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
 	}
 	T, H := x.Rows, l.Hidden
 	l.x = x
-	l.gates = make([]float64, T*4*H)
-	l.cells = make([]float64, T*H)
-	l.hids = make([]float64, T*H)
+	l.gates = growF(l.gates, T*4*H)
+	l.cells = growF(l.cells, T*H)
+	l.hids = growF(l.hids, T*H)
+	l.pre = growF(l.pre, T*4*H)
+	l.h0 = growF(l.h0, H)
+	zeroF(l.h0)
 
-	hPrev := make([]float64, H)
-	cPrev := make([]float64, H)
-	pre := make([]float64, 4*H)
+	// Input contribution for every step at once: pre = b + x·Wxᵀ.
 	for t := 0; t < T; t++ {
-		xrow := x.Row(t)
-		copy(pre, l.b.W)
-		for j := 0; j < 4*H; j++ {
-			wrow := l.wx.W[j*l.In : (j+1)*l.In]
-			s := pre[j]
-			for i, xv := range xrow {
-				s += wrow[i] * xv
-			}
-			hrow := l.wh.W[j*H : (j+1)*H]
-			for i, hv := range hPrev {
-				s += hrow[i] * hv
-			}
-			pre[j] = s
-		}
+		copy(l.pre[t*4*H:(t+1)*4*H], l.b.W)
+	}
+	GemmNT(T, 4*H, l.In, x.Data, l.In, l.wx.W, l.In, l.pre, 4*H, true)
+
+	hPrev, cPrev := l.h0, l.h0
+	for t := 0; t < T; t++ {
+		pre := l.pre[t*4*H : (t+1)*4*H]
+		gemv(4*H, H, l.wh.W, H, hPrev, pre)
 		g := l.gates[t*4*H : (t+1)*4*H]
 		for h := 0; h < H; h++ {
 			g[h] = sigmoid(pre[h])           // input gate
@@ -85,32 +93,34 @@ func (l *LSTM) Forward(x *Tensor, train bool) *Tensor {
 		}
 		hPrev, cPrev = hRow, cRow
 	}
-	out := NewTensor(1, H)
-	copy(out.Data, hPrev)
-	return out
+	l.out = ensure(l.out, 1, H)
+	copy(l.out.Data, hPrev)
+	return l.out
 }
 
-// Backward runs truncated-free BPTT from the final-state gradient and
-// returns dL/dx.
+// Backward runs full BPTT from the final-state gradient and returns dL/dx.
+// The step loop computes gate pre-activation gradients (dpre, overwriting
+// the forward pre buffer) and the dh/dc recurrences; dWx, dWh, db, and dx
+// then come from batched reductions over the whole dpre matrix.
 func (l *LSTM) Backward(grad *Tensor) *Tensor {
 	T, H := l.x.Rows, l.Hidden
-	dx := NewTensor(l.x.Rows, l.x.Cols)
-	dh := make([]float64, H)
-	dc := make([]float64, H)
+	l.dxb = ensure(l.dxb, l.x.Rows, l.x.Cols)
+	dx := l.dxb
+	zeroF(dx.Data)
+	l.dh = growF(l.dh, H)
+	l.dc = growF(l.dc, H)
+	dh, dc := l.dh, l.dc
 	copy(dh, grad.Data)
-	dpre := make([]float64, 4*H)
+	zeroF(dc)
 
 	for t := T - 1; t >= 0; t-- {
 		g := l.gates[t*4*H : (t+1)*4*H]
 		cRow := l.cells[t*H : (t+1)*H]
-		var cPrev, hPrev []float64
+		cPrev := l.h0
 		if t > 0 {
 			cPrev = l.cells[(t-1)*H : t*H]
-			hPrev = l.hids[(t-1)*H : t*H]
-		} else {
-			cPrev = make([]float64, H)
-			hPrev = make([]float64, H)
 		}
+		dpre := l.pre[t*4*H : (t+1)*4*H]
 		for h := 0; h < H; h++ {
 			tc := math.Tanh(cRow[h])
 			do := dh[h] * tc
@@ -125,34 +135,28 @@ func (l *LSTM) Backward(grad *Tensor) *Tensor {
 			dpre[2*H+h] = do * g[2*H+h] * (1 - g[2*H+h])
 			dpre[3*H+h] = dg * (1 - g[3*H+h]*g[3*H+h])
 		}
-		// Parameter gradients and input/hidden backprop.
-		xrow := l.x.Row(t)
-		dxrow := dx.Row(t)
-		for h := range dh {
-			dh[h] = 0
-		}
-		for j := 0; j < 4*H; j++ {
-			d := dpre[j]
-			if d == 0 {
-				continue
-			}
-			l.b.G[j] += d
-			wxRow := l.wx.W[j*l.In : (j+1)*l.In]
-			wxG := l.wx.G[j*l.In : (j+1)*l.In]
-			for i, xv := range xrow {
-				wxG[i] += d * xv
-				dxrow[i] += d * wxRow[i]
-			}
-			whRow := l.wh.W[j*H : (j+1)*H]
-			whG := l.wh.G[j*H : (j+1)*H]
-			for i, hv := range hPrev {
-				whG[i] += d * hv
-				dh[i] += d * whRow[i]
-			}
-		}
+		// dh_{t-1} = Whᵀ·dpre_t.
+		zeroF(dh)
+		gemvT(4*H, H, l.wh.W, H, dpre, dh)
+	}
+
+	// Batched parameter and input gradients from the full dpre matrix.
+	for t := 0; t < T; t++ {
+		axpy(1, l.pre[t*4*H:(t+1)*4*H], l.b.G)
+	}
+	gemmATB(T, 4*H, l.In, l.pre, 4*H, l.x.Data, l.In, l.wx.G, l.In)
+	GemmNN(T, l.In, 4*H, l.pre, 4*H, l.wx.W, l.In, dx.Data, l.In, true)
+	if T > 1 {
+		// dWh += Σ_{t≥1} dpre_tᵀ·h_{t-1}; the t=0 term vanishes (h_{-1}=0).
+		gemmATB(T-1, 4*H, H, l.pre[4*H:], 4*H, l.hids, H, l.wh.G, H)
 	}
 	return dx
 }
 
 // Params returns the LSTM's learnables.
 func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+func (l *LSTM) replica() Layer {
+	return &LSTM{In: l.In, Hidden: l.Hidden,
+		wx: l.wx.sharedGrad(), wh: l.wh.sharedGrad(), b: l.b.sharedGrad()}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/sim"
 )
@@ -36,6 +37,23 @@ func (s *Sequential) Backward(grad *Tensor) {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		grad = s.Layers[i].Backward(grad)
 	}
+}
+
+// replicate builds a data-parallel replica: layers share this model's
+// weight storage but own their gradient accumulators and activation state.
+// Returns false if any layer doesn't support replication (a foreign Layer
+// implementation), in which case callers fall back to serial execution on
+// the model itself.
+func (s *Sequential) replicate() (*Sequential, bool) {
+	ls := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		r, ok := l.(replicable)
+		if !ok {
+			return nil, false
+		}
+		ls[i] = r.replica()
+	}
+	return &Sequential{Layers: ls}, true
 }
 
 // Softmax converts logits to probabilities (numerically stable).
@@ -89,19 +107,26 @@ func NewAdam(params []*Param, lr float64) *Adam {
 }
 
 // Step applies one update from the accumulated gradients (scaled by
-// 1/batchSize) and zeroes them.
+// 1/batchSize) and zeroes them. The scale is hoisted into a single
+// pre-scaling pass over p.G (skipped when batchSize == 1) so the hot
+// per-element update touches each gradient exactly once; the trajectory is
+// bit-identical to scaling inside the update (see TestAdamGoldenTrajectory).
 func (a *Adam) Step(batchSize int) {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
-	scale := 1.0
 	if batchSize > 1 {
-		scale = 1 / float64(batchSize)
+		scale := 1 / float64(batchSize)
+		for _, p := range a.params {
+			for i := range p.G {
+				p.G[i] *= scale
+			}
+		}
 	}
 	for pi, p := range a.params {
 		m, v := a.m[pi], a.v[pi]
 		for i := range p.W {
-			g := p.G[i] * scale
+			g := p.G[i]
 			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
 			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
 			p.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
@@ -123,12 +148,20 @@ type FitConfig struct {
 	// have run, so a slow-starting network is not killed prematurely.
 	MinEpochs int
 	Seed      uint64
+	// Parallelism is the number of training workers (0 = GOMAXPROCS).
+	// Each minibatch splits into a fixed number of shards independent of
+	// the worker count, workers train weight-sharing model replicas on
+	// their shards, and gradients reduce into the shared parameters in
+	// shard order — so the trained model is bit-identical for every
+	// Parallelism value, including 1.
+	Parallelism int
 	// Verbose receives per-epoch progress lines when non-nil.
 	Verbose func(epoch int, trainLoss, valAcc float64)
 }
 
 // Fit trains the model on (X, y) with optional validation-based early
-// stopping. Gradients accumulate across each minibatch before an Adam step.
+// stopping. Gradients accumulate across each minibatch before an Adam step,
+// with minibatch shards processed in parallel (see FitConfig.Parallelism).
 func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg FitConfig) error {
 	if len(X) == 0 || len(X) != len(y) {
 		return errors.New("ml: Fit needs matching non-empty X, y")
@@ -142,6 +175,11 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 	if cfg.LR <= 0 {
 		cfg.LR = 0.001
 	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	eng := newTrainEngine(s, par)
 	opt := NewAdam(s.Params(), cfg.LR)
 	rng := sim.NewStream(cfg.Seed, "fit")
 	order := make([]int, len(X))
@@ -153,26 +191,18 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var totalLoss float64
-		inBatch := 0
-		for _, idx := range order {
-			out := s.Forward(X[idx], true)
-			loss, grad := CrossEntropy(out.Data, y[idx])
-			totalLoss += loss
-			g := NewTensor(out.Rows, out.Cols)
-			copy(g.Data, grad)
-			s.Backward(g)
-			inBatch++
-			if inBatch == cfg.BatchSize {
-				opt.Step(inBatch)
-				inBatch = 0
+		epochBase := uint64(epoch) * uint64(len(X))
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
 			}
-		}
-		if inBatch > 0 {
-			opt.Step(inBatch)
+			totalLoss += eng.trainBatch(X, y, order[lo:hi], epochBase+uint64(lo))
+			opt.Step(hi - lo)
 		}
 		valAcc := math.NaN()
 		if len(valX) > 0 {
-			valAcc = s.Accuracy(valX, valY)
+			valAcc = s.AccuracyParallel(valX, valY, par)
 			if valAcc > bestVal {
 				bestVal = valAcc
 				sinceBest = 0
@@ -196,25 +226,50 @@ func (s *Sequential) Predict(x *Tensor) []float64 {
 	return Softmax(out.Data)
 }
 
-// Accuracy evaluates top-1 accuracy on a labeled set.
+// PredictBatch returns class probabilities for every input, evaluating
+// samples concurrently on par workers (0 = GOMAXPROCS). Each worker runs a
+// weight-sharing replica, so the model itself is not mutated and results
+// are identical to calling Predict per sample.
+func (s *Sequential) PredictBatch(X []*Tensor, par int) [][]float64 {
+	out := make([][]float64, len(X))
+	s.forEachSample(len(X), par, func(model *Sequential, i int) {
+		o := model.Forward(X[i], false)
+		out[i] = Softmax(o.Data)
+	})
+	return out
+}
+
+// Accuracy evaluates top-1 accuracy on a labeled set, scoring samples
+// concurrently across GOMAXPROCS workers.
 func (s *Sequential) Accuracy(X []*Tensor, y []int) float64 {
+	return s.AccuracyParallel(X, y, 0)
+}
+
+// AccuracyParallel evaluates top-1 accuracy with an explicit worker count
+// (0 = GOMAXPROCS). The correct-count reduction is an integer sum, so the
+// result is exact and independent of scheduling.
+func (s *Sequential) AccuracyParallel(X []*Tensor, y []int, par int) float64 {
 	if len(X) == 0 {
 		return 0
 	}
-	correct := 0
-	for i, x := range X {
-		p := s.Predict(x)
+	correct := make([]int, parWorkers(par, len(X)))
+	s.forEachSampleWorker(len(X), len(correct), func(model *Sequential, w, i int) {
+		out := model.Forward(X[i], false)
 		best := 0
-		for c := range p {
-			if p[c] > p[best] {
+		for c, v := range out.Data {
+			if v > out.Data[best] {
 				best = c
 			}
 		}
 		if best == y[i] {
-			correct++
+			correct[w]++
 		}
+	})
+	total := 0
+	for _, c := range correct {
+		total += c
 	}
-	return float64(correct) / float64(len(X))
+	return float64(total) / float64(len(X))
 }
 
 // PaperNet builds a scaled version of the paper's classifier (footnote 2):

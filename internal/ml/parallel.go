@@ -1,0 +1,219 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxGradShards is the fixed number of gradient shards a minibatch splits
+// into. It is deliberately independent of FitConfig.Parallelism: the shard
+// boundaries and the shard-order gradient reduction define the
+// floating-point summation order, so any worker count — including 1 —
+// produces bit-identical training. Workers beyond maxGradShards idle
+// during the backward pass but still accelerate validation and inference.
+const maxGradShards = 8
+
+// parWorkers clamps a requested worker count (0 = GOMAXPROCS) to [1, n].
+func parWorkers(par, n int) int {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
+}
+
+// collectSampleAware gathers the layers whose randomness must be keyed by
+// sample index (dropout) so sharded training stays deterministic.
+func collectSampleAware(s *Sequential) []sampleAware {
+	var out []sampleAware
+	for _, l := range s.Layers {
+		if sa, ok := l.(sampleAware); ok {
+			out = append(out, sa)
+		}
+	}
+	return out
+}
+
+// forEachSample runs fn(model, i) for every i in [0, n) across par workers,
+// each on a weight-sharing replica (or the model itself when serial).
+func (s *Sequential) forEachSample(n, par int, fn func(model *Sequential, i int)) {
+	s.forEachSampleWorker(n, parWorkers(par, n), func(model *Sequential, _, i int) { fn(model, i) })
+}
+
+// forEachSampleWorker partitions [0, n) into `workers` contiguous chunks and
+// runs chunk w on worker w's replica. Falls back to serial execution on the
+// model itself when a layer cannot be replicated.
+func (s *Sequential) forEachSampleWorker(n, workers int, fn func(model *Sequential, w, i int)) {
+	if workers > 1 {
+		if _, ok := s.replicate(); !ok {
+			workers = 1
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(s, 0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		model, _ := s.replicate()
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(model *Sequential, w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(model, w, i)
+			}
+		}(model, w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// replicaState is one training worker: a weight-sharing model replica plus
+// its private parameter list, sample-aware layers, and loss-grad scratch.
+type replicaState struct {
+	seq     *Sequential
+	params  []*Param
+	samples []sampleAware
+	gbuf    *Tensor
+}
+
+// trainEngine runs data-parallel minibatch training: each batch splits into
+// maxGradShards fixed shards, workers process shards on replicas whose
+// gradient accumulators are rebound to per-shard buffers, and the buffers
+// reduce into the shared model parameters in shard order.
+type trainEngine struct {
+	model     *Sequential
+	params    []*Param
+	replicas  []*replicaState
+	shardG    [][][]float64 // [shard][param][elem]
+	shardLoss [maxGradShards]float64
+
+	// serialDirect trains on the model itself in sample order when a
+	// foreign layer prevents replication.
+	serialDirect bool
+	samples      []sampleAware
+	gbuf         *Tensor
+}
+
+func newTrainEngine(s *Sequential, par int) *trainEngine {
+	e := &trainEngine{model: s, params: s.Params()}
+	if _, ok := s.replicate(); !ok {
+		e.serialDirect = true
+		e.samples = collectSampleAware(s)
+		return e
+	}
+	workers := parWorkers(par, maxGradShards)
+	for w := 0; w < workers; w++ {
+		rep, _ := s.replicate()
+		e.replicas = append(e.replicas, &replicaState{
+			seq:     rep,
+			params:  rep.Params(),
+			samples: collectSampleAware(rep),
+		})
+	}
+	for si := 0; si < maxGradShards; si++ {
+		bufs := make([][]float64, len(e.params))
+		for pi, p := range e.params {
+			bufs[pi] = make([]float64, len(p.G))
+		}
+		e.shardG = append(e.shardG, bufs)
+	}
+	return e
+}
+
+// trainBatch forward/backwards every sample of the batch (indices into X/y)
+// and leaves the summed gradients in the model's Param.G, returning the
+// summed loss. sampleBase is the epoch-order index of batch[0], used to key
+// per-sample randomness.
+func (e *trainEngine) trainBatch(X []*Tensor, y []int, batch []int, sampleBase uint64) float64 {
+	if e.serialDirect {
+		var loss float64
+		for bi, idx := range batch {
+			for _, sa := range e.samples {
+				sa.setSample(sampleBase + uint64(bi))
+			}
+			out := e.model.Forward(X[idx], true)
+			l, grad := CrossEntropy(out.Data, y[idx])
+			loss += l
+			e.gbuf = ensure(e.gbuf, out.Rows, out.Cols)
+			copy(e.gbuf.Data, grad)
+			e.model.Backward(e.gbuf)
+		}
+		return loss
+	}
+	S := len(batch)
+	if S > maxGradShards {
+		S = maxGradShards
+	}
+	for si := 0; si < S; si++ {
+		e.shardLoss[si] = 0
+		for pi := range e.params {
+			zeroF(e.shardG[si][pi])
+		}
+	}
+	if len(e.replicas) == 1 || S == 1 {
+		for si := 0; si < S; si++ {
+			e.runShard(e.replicas[0], si, S, X, y, batch, sampleBase)
+		}
+	} else {
+		workers := len(e.replicas)
+		if workers > S {
+			workers = S
+		}
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(r *replicaState) {
+				defer wg.Done()
+				for si := range ch {
+					e.runShard(r, si, S, X, y, batch, sampleBase)
+				}
+			}(e.replicas[w])
+		}
+		for si := 0; si < S; si++ {
+			ch <- si
+		}
+		close(ch)
+		wg.Wait()
+	}
+	var loss float64
+	for si := 0; si < S; si++ {
+		loss += e.shardLoss[si]
+		for pi, p := range e.params {
+			axpy(1, e.shardG[si][pi], p.G)
+		}
+	}
+	return loss
+}
+
+// runShard trains replica r on shard si of S: it rebinds the replica's
+// gradient accumulators to the shard's buffers, then forward/backwards the
+// shard's contiguous slice of the batch in order.
+func (e *trainEngine) runShard(r *replicaState, si, S int, X []*Tensor, y []int, batch []int, sampleBase uint64) {
+	lo, hi := si*len(batch)/S, (si+1)*len(batch)/S
+	for pi, p := range r.params {
+		p.G = e.shardG[si][pi]
+	}
+	var loss float64
+	for bi := lo; bi < hi; bi++ {
+		idx := batch[bi]
+		for _, sa := range r.samples {
+			sa.setSample(sampleBase + uint64(bi))
+		}
+		out := r.seq.Forward(X[idx], true)
+		l, grad := CrossEntropy(out.Data, y[idx])
+		loss += l
+		r.gbuf = ensure(r.gbuf, out.Rows, out.Cols)
+		copy(r.gbuf.Data, grad)
+		r.seq.Backward(r.gbuf)
+	}
+	e.shardLoss[si] = loss
+}

@@ -47,6 +47,39 @@ func (t *Tensor) Clone() *Tensor {
 	return out
 }
 
+// ensure returns a rows×cols tensor backed by buf's storage when its
+// capacity suffices, allocating only on growth. It is the layers' arena
+// primitive: each layer owns its activation buffers and reshapes them per
+// sample instead of calling NewTensor per Forward/Backward. Contents are
+// unspecified; callers overwrite or zero as needed.
+func ensure(buf *Tensor, rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("ml: invalid tensor shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if buf == nil || cap(buf.Data) < n {
+		return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	buf.Rows, buf.Cols, buf.Data = rows, cols, buf.Data[:n]
+	return buf
+}
+
+// growF returns a length-n slice reusing s's storage when possible.
+// Contents are unspecified.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// zeroF clears a slice.
+func zeroF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // Param is one learnable weight blob with its gradient accumulator.
 type Param struct {
 	W []float64
@@ -60,4 +93,11 @@ func (p *Param) zeroGrad() {
 	for i := range p.G {
 		p.G[i] = 0
 	}
+}
+
+// sharedGrad returns a Param aliasing p's weights with its own gradient
+// accumulator — the shape of a data-parallel replica: workers read the same
+// weights but accumulate gradients privately until the shard reduction.
+func (p *Param) sharedGrad() *Param {
+	return &Param{W: p.W, G: make([]float64, len(p.G))}
 }
