@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml ci clean
+.PHONY: all build vet test race bench bench-ml bench-smoke ci clean
 
 all: build
 
@@ -16,10 +16,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-heavy packages (training engine, fold/collection pools)
-# under the race detector.
+# The concurrency-heavy packages (training engine, fold/collection pools,
+# event engine, machine lifecycle) under the race detector.
 race:
-	$(GO) test -race ./internal/ml ./internal/core
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel
 
 # Full benchmark sweep (slow: regenerates every table/figure at bench scale).
 bench:
@@ -29,7 +29,12 @@ bench:
 bench-ml:
 	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkGEMM|BenchmarkAblationClassifiers' -benchmem .
 
-ci: build vet test race
+# One-iteration pass over the simulation-side benchmarks: catches bit-rot in
+# benchmark code without paying for stable timings.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/kernel ./internal/core
+
+ci: build vet test race bench-smoke
 
 clean:
 	$(GO) clean

@@ -38,9 +38,12 @@ func run() int {
 	outDir := flag.String("out", "", "directory for CSV output (optional)")
 	mdPath := flag.String("md", "", "write a paper-vs-measured markdown report to this file")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	cells := flag.Int("cells", 0, "max experiment cells in flight (0 = unbounded; compute stays CPU-bounded)")
+	dsCacheCap := flag.Int("dscache", 8, "datasets retained by the in-process collection cache (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	core.SetDatasetCacheCapacity(*dsCacheCap)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -77,6 +80,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	sc.CellParallelism = *cells
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

@@ -19,6 +19,14 @@ func NewOccupancyModel(geo Geometry) *OccupancyModel {
 	return &OccupancyModel{geo: geo, resident: float64(geo.Lines())}
 }
 
+// Reset restores the model to its just-primed state for the given geometry:
+// attacker fully resident, victim counter zero.
+func (m *OccupancyModel) Reset(geo Geometry) {
+	m.geo = geo
+	m.resident = float64(geo.Lines())
+	m.cumVictim = 0
+}
+
 // Geometry returns the cache geometry.
 func (m *OccupancyModel) Geometry() Geometry { return m.geo }
 

@@ -32,6 +32,11 @@ type Scale struct {
 	Seed uint64
 	// Parallelism bounds concurrent trace simulations (0 = NumCPU).
 	Parallelism int
+	// CellParallelism bounds how many independent experiment cells (table
+	// rows, figure points) run concurrently (0 = all at once). Cells only
+	// pipeline: actual compute is bounded by the process-wide slot pool
+	// regardless, so this knob mainly limits peak memory.
+	CellParallelism int
 }
 
 // Validate checks the scale is usable.
@@ -57,11 +62,20 @@ func (s Scale) NonSensitiveLabel() int { return s.Sites }
 // CollectOne simulates a single labeled trace for the scenario: it builds a
 // fresh machine, arms any defenses, loads the page, and runs the attacker.
 func CollectOne(scn Scenario, profile website.Profile, label, visit int, root uint64) (trace.Trace, error) {
+	return collectOne(&kernel.Machine{}, scn, profile, label, visit, root)
+}
+
+// collectOne is CollectOne on a caller-owned machine arena: the machine is
+// Reset (booted) for this trace, so workers sweeping thousands of visits
+// recycle the engine slab, cores, and controller instead of rebuilding the
+// object graph per visit. Reset machines are bit-identical to fresh ones
+// (kernel.TestResetEqualsFresh), so arena reuse cannot change trace bytes.
+func collectOne(m *kernel.Machine, scn Scenario, profile website.Profile, label, visit int, root uint64) (trace.Trace, error) {
 	if err := scn.normalize(); err != nil {
 		return trace.Trace{}, err
 	}
 	seed := traceSeed(root, scn.Name, profile.Domain, visit)
-	m := kernel.NewMachine(kernel.Config{
+	m.Reset(kernel.Config{
 		OS:              scn.OS,
 		Seed:            seed,
 		Isolation:       scn.Isolation,
@@ -136,10 +150,13 @@ type collectJob struct {
 
 // runCollectJobs executes the jobs across par workers (0 = NumCPU), failing
 // fast: the first error cancels all undispatched jobs, and in-flight workers
-// exit after their current job. The returned error wraps the failing job's
-// scenario, domain, and visit so a bad simulation is traceable without
-// rerunning the sweep.
-func runCollectJobs(scenario string, jobs []collectJob, par int, run func(collectJob) (trace.Trace, error)) ([]trace.Trace, error) {
+// exit after their current job. newRun is called once per worker so each
+// worker can own private per-worker state (a machine arena); every job
+// additionally holds a global compute slot, so concurrently running
+// experiment cells share one CPU budget. The returned error wraps the
+// failing job's scenario, domain, and visit so a bad simulation is traceable
+// without rerunning the sweep.
+func runCollectJobs(scenario string, jobs []collectJob, par int, newRun func() func(collectJob) (trace.Trace, error)) ([]trace.Trace, error) {
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
@@ -164,8 +181,11 @@ func runCollectJobs(scenario string, jobs []collectJob, par int, run func(collec
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			run := newRun()
 			for j := range ch {
+				acquireSlot()
 				tr, err := run(j)
+				releaseSlot()
 				if err != nil {
 					fail(fmt.Errorf("core: collect %q %s visit %d: %w",
 						scenario, j.profile.Domain, j.visit, err))
@@ -195,7 +215,33 @@ produce:
 // given scale, simulating traces in parallel. Closed-world classes are the
 // first Sites domains of Appendix A; open-world traces (if any) share the
 // single non-sensitive class, each drawn from a unique generated site.
+//
+// Datasets are memoized in a content-addressed in-process cache keyed by the
+// scenario's observable behavior and the scale, so experiment grids that
+// revisit the same (scenario, scale) point simulate it once. The returned
+// Dataset and its trace slice are private to the caller; the sample arrays
+// are shared with the cache and must be treated as read-only (the ML
+// preprocessing pipeline copies values before mutating them).
 func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := scn.normalize(); err != nil {
+		return nil, err
+	}
+	ds, err := dsCache.getOrCollect(datasetCacheKey(scn, sc), func() (*trace.Dataset, error) {
+		return collectDataset(scn, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := *ds
+	out.Traces = append([]trace.Trace(nil), ds.Traces...)
+	return &out, nil
+}
+
+// collectDataset is the uncached collection path.
+func collectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,8 +266,11 @@ func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 		})
 	}
 
-	results, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, func(j collectJob) (trace.Trace, error) {
-		return CollectOne(scn, j.profile, j.label, j.visit, sc.Seed)
+	results, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, func() func(collectJob) (trace.Trace, error) {
+		arena := &kernel.Machine{}
+		return func(j collectJob) (trace.Trace, error) {
+			return collectOne(arena, scn, j.profile, j.label, j.visit, sc.Seed)
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -233,14 +282,20 @@ func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 	}
 	ds := &trace.Dataset{NumClasses: classes, Traces: results}
 	// Trace lengths can differ by a sample or two under jittered timers;
-	// trim to the shortest so the dataset validates.
+	// trim to the shortest so the dataset validates. A degenerate result —
+	// any trace with zero samples — would silently truncate every trace to
+	// nothing, so refuse it instead.
 	minLen := len(results[0].Values)
 	for _, t := range results {
 		if len(t.Values) < minLen {
 			minLen = len(t.Values)
 		}
 	}
+	if minLen == 0 {
+		return nil, fmt.Errorf("core: collect %q: a trace produced no samples; refusing to trim dataset to zero length", scn.Name)
+	}
 	for i := range ds.Traces {
+		ds.TrimmedSamples += len(ds.Traces[i].Values) - minLen
 		ds.Traces[i].Values = ds.Traces[i].Values[:minLen]
 	}
 	if err := ds.Validate(); err != nil {

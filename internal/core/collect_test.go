@@ -11,6 +11,12 @@ import (
 	"repro/internal/website"
 )
 
+// sharedRun adapts a plain job function to runCollectJobs' per-worker
+// factory shape for tests that need no per-worker state.
+func sharedRun(run func(collectJob) (trace.Trace, error)) func() func(collectJob) (trace.Trace, error) {
+	return func() func(collectJob) (trace.Trace, error) { return run }
+}
+
 func makeCollectJobs(n int) []collectJob {
 	jobs := make([]collectJob, n)
 	for i := range jobs {
@@ -26,9 +32,9 @@ func makeCollectJobs(n int) []collectJob {
 
 func TestRunCollectJobsSuccess(t *testing.T) {
 	jobs := makeCollectJobs(20)
-	results, err := runCollectJobs("ok", jobs, 4, func(j collectJob) (trace.Trace, error) {
+	results, err := runCollectJobs("ok", jobs, 4, sharedRun(func(j collectJob) (trace.Trace, error) {
 		return trace.Trace{Label: j.label, Domain: j.profile.Domain, Values: []float64{float64(j.slot)}}, nil
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +52,7 @@ func TestRunCollectJobsFailFast(t *testing.T) {
 	jobs := makeCollectJobs(200)
 	boom := errors.New("simulated machine wedged")
 	var calls atomic.Int64
-	_, err := runCollectJobs("broken-scn", jobs, 4, func(j collectJob) (trace.Trace, error) {
+	_, err := runCollectJobs("broken-scn", jobs, 4, sharedRun(func(j collectJob) (trace.Trace, error) {
 		calls.Add(1)
 		if j.slot == 0 {
 			return trace.Trace{}, boom
@@ -55,7 +61,7 @@ func TestRunCollectJobsFailFast(t *testing.T) {
 		// outruns the queue.
 		time.Sleep(time.Millisecond)
 		return trace.Trace{Label: j.label, Values: []float64{1}}, nil
-	})
+	}))
 	if err == nil {
 		t.Fatal("expected an error")
 	}
@@ -76,9 +82,9 @@ func TestRunCollectJobsFirstErrorWins(t *testing.T) {
 	// Every job fails; the reported error must be one of the jobs' errors,
 	// fully wrapped, and the run must terminate.
 	jobs := makeCollectJobs(50)
-	_, err := runCollectJobs("all-fail", jobs, 8, func(j collectJob) (trace.Trace, error) {
+	_, err := runCollectJobs("all-fail", jobs, 8, sharedRun(func(j collectJob) (trace.Trace, error) {
 		return trace.Trace{}, errors.New("nope")
-	})
+	}))
 	if err == nil || !strings.Contains(err.Error(), "all-fail") {
 		t.Fatalf("want wrapped error, got %v", err)
 	}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// dsCache memoizes collected datasets within the process. Experiment grids
+// revisit (scenario, scale) points constantly — Table 1's rows share their
+// closed-world cells with Figure 3's, significance tests re-run cells — and
+// every revisit would otherwise re-simulate thousands of traces. Capacity is
+// small because full-scale datasets run to hundreds of megabytes.
+var dsCache = newDatasetCache(8)
+
+// datasetCache is a content-addressed, singleflight, LRU-bounded dataset
+// store. Concurrent requests for the same key block on one collection.
+type datasetCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*dsEntry
+	order   []uint64 // LRU order, most recently used last
+}
+
+type dsEntry struct {
+	ready chan struct{} // closed when ds/err are set
+	ds    *trace.Dataset
+	err   error
+}
+
+func newDatasetCache(capacity int) *datasetCache {
+	return &datasetCache{cap: capacity, entries: make(map[uint64]*dsEntry)}
+}
+
+// SetDatasetCacheCapacity bounds how many datasets the in-process collection
+// cache retains (default 8). Zero disables caching entirely — every
+// CollectDataset call re-simulates — which benchmarks and memory-constrained
+// full-scale runs use.
+func SetDatasetCacheCapacity(n int) {
+	dsCache.mu.Lock()
+	defer dsCache.mu.Unlock()
+	dsCache.cap = n
+	dsCache.evictLocked()
+}
+
+// touchLocked moves key to the most-recently-used position.
+func (c *datasetCache) touchLocked(key uint64) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+// evictLocked drops least-recently-used finished entries until within
+// capacity. In-flight entries are never evicted: their waiters hold the
+// entry pointer and eviction would let a duplicate collection start.
+func (c *datasetCache) evictLocked() {
+	for over := len(c.entries) - c.cap; over > 0; {
+		evicted := false
+		for i, k := range c.order {
+			e := c.entries[k]
+			select {
+			case <-e.ready:
+			default:
+				continue // still collecting
+			}
+			delete(c.entries, k)
+			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			over--
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in flight; nothing evictable
+		}
+	}
+}
+
+// getOrCollect returns the cached dataset for key, running collect exactly
+// once per key (even under concurrent callers) and caching its result.
+// Failed collections are not cached.
+func (c *datasetCache) getOrCollect(key uint64, collect func() (*trace.Dataset, error)) (*trace.Dataset, error) {
+	c.mu.Lock()
+	if c.cap <= 0 {
+		c.mu.Unlock()
+		return collect()
+	}
+	if e, ok := c.entries[key]; ok {
+		c.touchLocked(key)
+		c.mu.Unlock()
+		<-e.ready
+		return e.ds, e.err
+	}
+	e := &dsEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.touchLocked(key)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.ds, e.err = collect()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return e.ds, e.err
+}
+
+// datasetCacheKey hashes everything that determines a collected dataset's
+// bytes: the scenario's fields (Name feeds traceSeed, so it is
+// load-bearing, not a label), the collection scale, and a behavioral
+// fingerprint of the timer. Folds and Parallelism are deliberately
+// excluded — folds happen after collection, and collection is
+// parallelism-invariant by construction (TestGoldenDeterminism).
+func datasetCacheKey(scn Scenario, sc Scale) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%v|%d|%v|%d|%d|%g|%g|%v|%v|%v%v%v|",
+		scn.Name, scn.OS, scn.Browser, scn.Attack, scn.Variant,
+		scn.Period, scn.TraceDuration, scn.Dilation, scn.VisitJitter,
+		scn.Isolation, scn.SoftirqPolicy != nil,
+		scn.BackgroundNoise, scn.InterruptNoise, scn.CacheNoise)
+	if scn.SoftirqPolicy != nil {
+		fmt.Fprintf(h, "%d|", *scn.SoftirqPolicy)
+	}
+	// TimerMaker is a closure, so identity must come from behavior: probe a
+	// throwaway instance at a fixed seed across the trace window. Read is
+	// stateful but accepts nondecreasing arguments, which the ascending
+	// probe grid satisfies.
+	tm := scn.timer(0x7f1e57a7e5eed)
+	io.WriteString(h, tm.Name())
+	step := scn.TraceDuration / 64
+	if step <= 0 {
+		step = sim.Millisecond
+	}
+	for t := sim.Time(0); t <= scn.TraceDuration; t += step {
+		fmt.Fprintf(h, "%d,%d;", tm.Read(t), tm.NextChange(t))
+	}
+	fmt.Fprintf(h, "|%d|%d|%d|%d", sc.Sites, sc.TracesPerSite, sc.OpenWorld, sc.Seed)
+	return h.Sum64()
+}

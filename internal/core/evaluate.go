@@ -76,7 +76,10 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 
 	// Folds are independent train/test runs, so they execute concurrently;
 	// all metric merging below stays in fold order, making the result
-	// identical to the serial loop this replaces.
+	// identical to the serial loop this replaces. Each fold holds a global
+	// compute slot while it trains/scores, so evaluations running inside
+	// pipelined experiment cells share one process-wide CPU budget with
+	// trace collection.
 	type foldOut struct {
 		scores [][]float64
 		labels []int
@@ -97,10 +100,12 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 		go func() {
 			defer wg.Done()
 			for fi := range ch {
+				acquireSlot()
 				fold := folds[fi]
 				clf := mk(sc.Seed + uint64(fi))
 				if err := clf.Fit(ds.Subset(fold.Train)); err != nil {
 					outs[fi].err = fmt.Errorf("fold %d: %w", fi, err)
+					releaseSlot()
 					continue
 				}
 				labels := make([]int, len(fold.Test))
@@ -121,6 +126,7 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 					}
 				}
 				outs[fi] = foldOut{scores: scores, labels: labels}
+				releaseSlot()
 			}
 		}()
 	}

@@ -16,6 +16,30 @@ import (
 // scenarios at the given scale and returns printable rows; EXPERIMENTS.md
 // records the paper-vs-measured comparison.
 
+// experimentCell is one (scenario, scale) point of a table or figure; its
+// Result lands in dst.
+type experimentCell struct {
+	scn   Scenario
+	scale Scale
+	dst   *Result
+}
+
+// runExperimentCells executes independent experiment cells concurrently
+// (bounded by par; 0 = all at once). Compute stays capped by the
+// process-wide slot pool, so cell concurrency pipelines collection with
+// evaluation instead of oversubscribing the CPU. Results are written to
+// per-cell destinations, keeping row order deterministic.
+func runExperimentCells(cells []experimentCell, par int) error {
+	return runCells(len(cells), par, func(i int) error {
+		res, err := RunExperiment(cells[i].scn, cells[i].scale, nil)
+		if err != nil {
+			return err
+		}
+		*cells[i].dst = res
+		return nil
+	})
+}
+
 // Table1Config is one (browser, OS) row of Table 1.
 type Table1Config struct {
 	Browser browser.Browser
@@ -66,11 +90,13 @@ func (r Table1Row) String() string {
 // loop-counting attacker" across browser×OS combinations. Open-world runs
 // are skipped when sc.OpenWorld is 0.
 func Table1(sc Scale) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, cfg := range Table1Configs() {
-		row := Table1Row{Config: cfg}
-		closedScale := sc
-		closedScale.OpenWorld = 0
+	cfgs := Table1Configs()
+	rows := make([]Table1Row, len(cfgs))
+	closedScale := sc
+	closedScale.OpenWorld = 0
+	var cells []experimentCell
+	for i, cfg := range cfgs {
+		rows[i].Config = cfg
 		base := Scenario{
 			OS:      cfg.OS,
 			Browser: cfg.Browser,
@@ -79,44 +105,31 @@ func Table1(sc Scale) ([]Table1Row, error) {
 		loop := base
 		loop.Name = fmt.Sprintf("t1/%s/%s/loop/closed", cfg.Browser, cfg.OS)
 		loop.Attack = LoopCounting
-		res, err := RunExperiment(loop, closedScale, nil)
-		if err != nil {
-			return nil, err
-		}
-		row.ClosedLoop = res
+		cells = append(cells, experimentCell{loop, closedScale, &rows[i].ClosedLoop})
 
 		sweep := base
 		sweep.Name = fmt.Sprintf("t1/%s/%s/sweep/closed", cfg.Browser, cfg.OS)
 		sweep.Attack = SweepCounting
-		res, err = RunExperiment(sweep, closedScale, nil)
-		if err != nil {
-			return nil, err
-		}
-		row.ClosedSweep = res
-
-		if tt, err := CompareSignificance(row.ClosedLoop, row.ClosedSweep); err == nil {
-			row.LoopVsSweepP = tt.P
-			row.significanceSet = true
-		}
+		cells = append(cells, experimentCell{sweep, closedScale, &rows[i].ClosedSweep})
 
 		if sc.OpenWorld > 0 {
 			loopOpen := loop
 			loopOpen.Name = fmt.Sprintf("t1/%s/%s/loop/open", cfg.Browser, cfg.OS)
-			res, err = RunExperiment(loopOpen, sc, nil)
-			if err != nil {
-				return nil, err
-			}
-			row.OpenLoop = res
+			cells = append(cells, experimentCell{loopOpen, sc, &rows[i].OpenLoop})
 
 			sweepOpen := sweep
 			sweepOpen.Name = fmt.Sprintf("t1/%s/%s/sweep/open", cfg.Browser, cfg.OS)
-			res, err = RunExperiment(sweepOpen, sc, nil)
-			if err != nil {
-				return nil, err
-			}
-			row.OpenSweep = res
+			cells = append(cells, experimentCell{sweepOpen, sc, &rows[i].OpenSweep})
 		}
-		rows = append(rows, row)
+	}
+	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		if tt, err := CompareSignificance(rows[i].ClosedLoop, rows[i].ClosedSweep); err == nil {
+			rows[i].LoopVsSweepP = tt.P
+			rows[i].significanceSet = true
+		}
 	}
 	return rows, nil
 }
@@ -138,7 +151,10 @@ func (r Table2Row) String() string {
 // this controlled comparison on a single machine).
 func Table2(sc Scale) ([]Table2Row, error) {
 	sc.OpenWorld = 0
-	var rows []Table2Row
+	// Full capacity up front: cells hold pointers into rows, so the backing
+	// array must never reallocate.
+	rows := make([]Table2Row, 0, 6)
+	var cells []experimentCell
 	for _, kind := range []AttackKind{LoopCounting, SweepCounting} {
 		for _, noise := range []string{"none", "cache-sweep", "interrupt"} {
 			scn := Scenario{
@@ -153,12 +169,12 @@ func Table2(sc Scale) ([]Table2Row, error) {
 			case "interrupt":
 				scn.InterruptNoise = true
 			}
-			res, err := RunExperiment(scn, sc, nil)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table2Row{Attack: kind, Noise: noise, Result: res})
+			rows = append(rows, Table2Row{Attack: kind, Noise: noise})
+			cells = append(cells, experimentCell{scn, sc, &rows[len(rows)-1].Result})
 		}
+	}
+	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -195,16 +211,17 @@ func Table3(sc Scale) ([]Table3Row, error) {
 		{"+ remove IRQ interrupts", func(s *Scenario) { s.Isolation.RemoveIRQs = true }},
 		{"+ run in separate VMs", func(s *Scenario) { s.Isolation.SeparateVMs = true }},
 	}
-	var rows []Table3Row
+	rows := make([]Table3Row, len(steps))
+	cells := make([]experimentCell, len(steps))
 	scn := base
 	for i, st := range steps {
-		st.apply(&scn)
+		st.apply(&scn) // cumulative: each step keeps all previous mechanisms
 		scn.Name = fmt.Sprintf("t3/%d-%s", i, st.name)
-		res, err := RunExperiment(scn, sc, nil)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table3Row{Mechanism: st.name, Result: res})
+		rows[i].Mechanism = st.name
+		cells[i] = experimentCell{scn, sc, &rows[i].Result}
+	}
+	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -252,20 +269,20 @@ func Table4(sc Scale) ([]Table4Row, error) {
 		{"randomized", 1, 500 * sim.Millisecond,
 			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
 	}
-	var rows []Table4Row
+	rows := make([]Table4Row, len(cfgs))
+	cells := make([]experimentCell, len(cfgs))
 	for i, c := range cfgs {
 		scn := base
 		scn.Name = fmt.Sprintf("t4/%d-%s-P%v", i, c.name, c.period)
 		scn.Timer = c.timer
 		scn.Period = c.period
-		res, err := RunExperiment(scn, sc, nil)
-		if err != nil {
-			return nil, err
+		rows[i] = Table4Row{
+			Timer: c.name, DeltaMS: c.deltaMS, PeriodMS: c.period.Milliseconds(),
 		}
-		rows = append(rows, Table4Row{
-			Timer: c.name, DeltaMS: c.deltaMS,
-			PeriodMS: c.period.Milliseconds(), Result: res,
-		})
+		cells[i] = experimentCell{scn, sc, &rows[i].Result}
+	}
+	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -289,16 +306,16 @@ func BackgroundNoise(sc Scale) (BackgroundNoiseResult, error) {
 	}
 	quiet := base
 	quiet.Name = "bgnoise/quiet"
-	qr, err := RunExperiment(quiet, sc, nil)
-	if err != nil {
-		return BackgroundNoiseResult{}, err
-	}
 	noisy := base
 	noisy.Name = "bgnoise/slack-spotify"
 	noisy.BackgroundNoise = true
-	nr, err := RunExperiment(noisy, sc, nil)
-	if err != nil {
+	var res BackgroundNoiseResult
+	cells := []experimentCell{
+		{quiet, sc, &res.Quiet},
+		{noisy, sc, &res.Noisy},
+	}
+	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
 		return BackgroundNoiseResult{}, err
 	}
-	return BackgroundNoiseResult{Quiet: qr, Noisy: nr}, nil
+	return res, nil
 }

@@ -27,8 +27,9 @@ func Figure3(seed uint64) (map[string]trace.Trace, error) {
 		Attack: LoopCounting,
 	}
 	out := make(map[string]trace.Trace, len(FigureSites))
+	arena := &kernel.Machine{}
 	for _, site := range FigureSites {
-		tr, err := CollectOne(scn, website.ProfileFor(site), 0, 0, seed)
+		tr, err := collectOne(arena, scn, website.ProfileFor(site), 0, 0, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -54,41 +55,54 @@ func Figure4(runs int, seed uint64) ([]Figure4Series, error) {
 	if runs < 2 {
 		return nil, fmt.Errorf("core: Figure4 needs at least 2 runs")
 	}
-	var out []Figure4Series
-	for _, site := range FigureSites {
+	out := make([]Figure4Series, len(FigureSites))
+	kinds := []struct {
+		kind AttackKind
+		name string
+	}{{LoopCounting, "loop"}, {SweepCounting, "sweep"}}
+	// One cell per (site, attacker) pair: cells pipeline concurrently while
+	// per-visit compute stays bounded by the global slot pool, and each cell
+	// reuses a single machine arena across its visits.
+	err := runCells(len(FigureSites)*len(kinds), 0, func(ci int) error {
+		site, k := FigureSites[ci/len(kinds)], kinds[ci%len(kinds)]
 		profile := website.ProfileFor(site)
-		collect := func(kind AttackKind, name string) ([]float64, error) {
-			scn := Scenario{
-				Name: "fig4/" + name, OS: kernel.Linux,
-				Browser: browser.Chrome, Attack: kind,
-			}
-			var traces []trace.Trace
-			for v := 0; v < runs; v++ {
-				tr, err := CollectOne(scn, profile, 0, v, seed)
-				if err != nil {
-					return nil, err
-				}
-				traces = append(traces, tr)
-			}
-			mean, err := trace.MeanTrace(traces)
+		scn := Scenario{
+			Name: "fig4/" + k.name, OS: kernel.Linux,
+			Browser: browser.Chrome, Attack: k.kind,
+		}
+		arena := &kernel.Machine{}
+		traces := make([]trace.Trace, runs)
+		for v := 0; v < runs; v++ {
+			acquireSlot()
+			tr, err := collectOne(arena, scn, profile, 0, v, seed)
+			releaseSlot()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			return stats.NormalizeMax(mean), nil
+			traces[v] = tr
 		}
-		loop, err := collect(LoopCounting, "loop")
+		mean, err := trace.MeanTrace(traces)
+		if err != nil {
+			return err
+		}
+		norm := stats.NormalizeMax(mean)
+		if k.kind == LoopCounting {
+			out[ci/len(kinds)].Loop = norm
+		} else {
+			out[ci/len(kinds)].Sweep = norm
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, site := range FigureSites {
+		out[i].Site = site
+		r, err := stats.Pearson(out[i].Loop, out[i].Sweep)
 		if err != nil {
 			return nil, err
 		}
-		sweep, err := collect(SweepCounting, "sweep")
-		if err != nil {
-			return nil, err
-		}
-		r, err := stats.Pearson(loop, sweep)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Figure4Series{Site: site, Loop: loop, Sweep: sweep, Correlation: r})
+		out[i].Correlation = r
 	}
 	return out, nil
 }
@@ -116,11 +130,12 @@ func Figure5(runs int, seed uint64) ([]Figure5Series, error) {
 	bucket := 100 * sim.Millisecond
 	n := int(dur / bucket)
 	var out []Figure5Series
+	m := &kernel.Machine{} // arena, re-booted per visit
 	for _, site := range FigureSites {
 		soft := make([]float64, n)
 		resched := make([]float64, n)
 		for v := 0; v < runs; v++ {
-			m := kernel.NewMachine(kernel.Config{
+			m.Reset(kernel.Config{
 				OS:   kernel.Linux,
 				Seed: traceSeed(seed, "fig5", site, v),
 				Isolation: kernel.Isolation{
@@ -185,9 +200,10 @@ func Figure6(loads int, seed uint64) (Figure6Result, error) {
 	agg.GapLengthsByType = map[interrupt.Type][]sim.Duration{}
 	sites := website.ClosedWorldDomains()[:10]
 	const dur = 10 * sim.Second
+	m := &kernel.Machine{} // arena, re-booted per load
 	for l := 0; l < loads; l++ {
 		site := sites[l%len(sites)]
-		m := kernel.NewMachine(kernel.Config{
+		m.Reset(kernel.Config{
 			OS:   kernel.Linux,
 			Seed: traceSeed(seed, "fig6", site, l),
 		})

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// simSlots bounds the number of CPU-bound simulation/evaluation units in
+// flight across the whole process. Trace simulations (runCollectJobs),
+// cross-validation folds (Evaluate), and concurrently running experiment
+// cells (Table rows, figure sweeps) all draw from this one budget, so
+// pipelining experiments never oversubscribes the CPU: each layer spawns its
+// own goroutines, but only GOMAXPROCS of them compute at a time.
+var simSlots = make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+
+// acquireSlot blocks until a compute slot is free. Holders must not acquire
+// a second slot (units of work never nest), which keeps the semaphore
+// deadlock-free.
+func acquireSlot() { simSlots <- struct{}{} }
+
+// releaseSlot returns a compute slot.
+func releaseSlot() { <-simSlots }
+
+// runCells executes n independent experiment cells on up to par goroutines
+// (par <= 0 means all cells at once — safe because the real compute
+// inside each cell is bounded by simSlots). The first error cancels
+// undispatched cells; f writes results into index-addressed slots so cell
+// order never depends on completion order.
+func runCells(n, par int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if par <= 0 || par > n {
+		par = n
+	}
+	var (
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	cancel := make(chan struct{})
+	ch := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if err := f(i); err != nil {
+					once.Do(func() {
+						firstErr = err
+						close(cancel)
+					})
+					return
+				}
+			}
+		}()
+	}
+produce:
+	for i := 0; i < n; i++ {
+		select {
+		case ch <- i:
+		case <-cancel:
+			break produce
+		}
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}

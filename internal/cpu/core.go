@@ -98,6 +98,23 @@ func NewCore(eng *sim.Engine, id int, freqGHz float64) *Core {
 	return &Core{ID: id, eng: eng, freqGHz: freqGHz}
 }
 
+// Reset returns the core to its just-built state at the given frequency,
+// keeping the steal-log allocation. The engine and ID are unchanged; callers
+// resetting a whole machine reset the engine separately.
+func (c *Core) Reset(freqGHz float64) {
+	if freqGHz <= 0 {
+		panic("cpu: frequency must be positive")
+	}
+	c.freqGHz = freqGHz
+	c.lastUpdate = 0
+	c.work = 0
+	c.stolenNS = 0
+	c.busyUntil = 0
+	c.recordSteals = false
+	c.steals = c.steals[:0]
+	c.stolenByCause = [NumCauses]sim.Duration{}
+}
+
 // RecordSteals toggles steal logging.
 func (c *Core) RecordSteals(on bool) { c.recordSteals = on }
 

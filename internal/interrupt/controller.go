@@ -98,6 +98,24 @@ func NewController(eng *sim.Engine, cores []*cpu.Core, rng *sim.Stream, cfg Conf
 	if len(cores) == 0 {
 		panic("interrupt: need at least one core")
 	}
+	c := &Controller{
+		eng: eng, cores: cores,
+		vmCore:      make([]bool, len(cores)),
+		pendingSoft: make([][]Type, len(cores)),
+		counts:      make([][]uint64, NumTypes),
+	}
+	for i := range c.counts {
+		c.counts[i] = make([]uint64, len(cores))
+	}
+	c.Reset(rng, cfg)
+	return c
+}
+
+// Reset re-initializes the controller for a fresh boot of the same machine:
+// same engine and cores, new random stream and configuration. All routing,
+// affinity, VM, queue, counter, and observer state returns to the
+// NewController defaults; the per-core allocations are kept.
+func (c *Controller) Reset(rng *sim.Stream, cfg Config) {
 	if cfg.CostScale <= 0 {
 		cfg.CostScale = 1
 	}
@@ -107,15 +125,22 @@ func NewController(eng *sim.Engine, cores []*cpu.Core, rng *sim.Stream, cfg Conf
 	if cfg.EntryOverhead < 0 {
 		cfg.EntryOverhead = 0
 	}
-	c := &Controller{
-		eng: eng, cores: cores, rng: rng, cfg: cfg,
-		vmCore:      make([]bool, len(cores)),
-		pendingSoft: make([][]Type, len(cores)),
-		counts:      make([][]uint64, NumTypes),
+	c.rng = rng
+	c.cfg = cfg
+	c.routing = RouteBalanced
+	c.pinnedCore = 0
+	c.rrDevice = 0
+	c.rrSoftirq = 0
+	for i := range c.vmCore {
+		c.vmCore[i] = false
+	}
+	for i := range c.pendingSoft {
+		c.pendingSoft[i] = c.pendingSoft[i][:0]
 	}
 	for i := range c.counts {
-		c.counts[i] = make([]uint64, len(cores))
+		clear(c.counts[i])
 	}
+	c.observers = nil
 	for i := range c.affinity {
 		c.affinity[i] = -1
 	}
@@ -124,7 +149,6 @@ func NewController(eng *sim.Engine, cores []*cpu.Core, rng *sim.Stream, cfg Conf
 	// CPU0 by default.
 	c.affinity[Keyboard] = 0
 	c.affinity[USB] = 0
-	return c
 }
 
 // SetIRQAffinity routes a device-IRQ type to one core (the

@@ -1,0 +1,27 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkMachineBoot measures cold machine construction plus 100 ms of
+// simulated time — the per-visit cost the Reset lifecycle amortizes.
+func BenchmarkMachineBoot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(Config{OS: Linux, Seed: uint64(i)})
+		m.Eng.Run(100 * sim.Millisecond)
+	}
+}
+
+// BenchmarkMachineReset runs the same workload on one reused arena.
+func BenchmarkMachineReset(b *testing.B) {
+	b.ReportAllocs()
+	m := &Machine{}
+	for i := 0; i < b.N; i++ {
+		m.Reset(Config{OS: Linux, Seed: uint64(i)})
+		m.Eng.Run(100 * sim.Millisecond)
+	}
+}

@@ -64,6 +64,51 @@ func TestMachineDeterminism(t *testing.T) {
 	}
 }
 
+// TestResetEqualsFresh drives one machine through a sequence of
+// heterogeneous configurations via Reset and checks that each run's per-core
+// stolen time and interrupt counters match a fresh NewMachine with the same
+// config — the contract the collection arenas depend on.
+func TestResetEqualsFresh(t *testing.T) {
+	policy := interrupt.SoftirqRaisingCore
+	configs := []Config{
+		{OS: Linux, Seed: 5},
+		{OS: Windows, Seed: 6, BackgroundNoise: true},
+		{OS: MacOS, Seed: 7, SoftirqPolicy: &policy},
+		{OS: Linux, Seed: 8, Isolation: Isolation{
+			FixedFreqGHz: 2.4, PinCores: true, RemoveIRQs: true, SeparateVMs: true,
+		}},
+		{OS: Linux, Seed: 5}, // back to the first config: full state reset
+	}
+	fingerprint := func(m *Machine) []uint64 {
+		var fp []uint64
+		m.Eng.Run(sim.Second / 2)
+		now := m.Eng.Now()
+		for _, c := range m.Cores {
+			fp = append(fp, uint64(c.StolenAt(now)))
+		}
+		for ty := interrupt.Type(0); ty < interrupt.NumTypes; ty++ {
+			fp = append(fp, m.Ctl.TotalCount(ty))
+		}
+		fp = append(fp, m.Eng.Processed)
+		return fp
+	}
+	reused := &Machine{} // Reset boots zero-value machines too
+	for i, cfg := range configs {
+		reused.Reset(cfg)
+		got := fingerprint(reused)
+		want := fingerprint(NewMachine(cfg))
+		if len(got) != len(want) {
+			t.Fatalf("config %d: fingerprint lengths differ", i)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("config %d: reused machine diverged from fresh at field %d: got %d, want %d",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestIsolationFixedFreq(t *testing.T) {
 	m := NewMachine(Config{OS: Linux, Seed: 1, Isolation: Isolation{FixedFreqGHz: 2.5}})
 	for i := 0; i < 100; i++ {

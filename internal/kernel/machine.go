@@ -46,6 +46,26 @@ type Machine struct {
 // NewMachine builds and boots a machine: cores running, timer ticks firing,
 // baseline background activity scheduled, isolation mechanisms applied.
 func NewMachine(cfg Config) *Machine {
+	m := &Machine{}
+	m.boot(cfg)
+	return m
+}
+
+// Reset re-boots the machine under a new configuration, recycling the
+// engine, cores, interrupt controller, and cache-model allocations from the
+// previous run. A reset machine is behaviorally indistinguishable from
+// NewMachine(cfg): every stream fork and every event insertion happens in
+// the same order, so simulations on reused machines are bit-identical to
+// simulations on fresh ones. Collection loops rely on this to amortize the
+// machine's object graph across thousands of visits.
+func (m *Machine) Reset(cfg Config) { m.boot(cfg) }
+
+// boot initializes a zero or previously-used machine. The order of stream
+// forks ("governor-dither", "irq", "sched", "baseline-irq", "baseline-soft",
+// "noise-apps") and of initial event scheduling (governor tick, per-core
+// timer ticks, baseline chains, noise apps) is part of the determinism
+// contract and must not change.
+func (m *Machine) boot(cfg Config) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 4
 	}
@@ -60,45 +80,62 @@ func NewMachine(cfg Config) *Machine {
 		prof.irq.SoftirqPolicy = *cfg.SoftirqPolicy
 	}
 
-	eng := sim.NewEngine()
+	if m.Eng == nil {
+		m.Eng = sim.NewEngine()
+	} else {
+		m.Eng.Reset()
+	}
+	eng := m.Eng
 	rng := sim.NewStream(cfg.Seed, "machine")
-	cores := make([]*cpu.Core, cfg.Cores)
 	startGHz := 2.5 // single-core turbo: the attacker spins from t=0
 	if cfg.Isolation.FixedFreqGHz > 0 {
 		startGHz = cfg.Isolation.FixedFreqGHz
 	}
-	for i := range cores {
-		cores[i] = cpu.NewCore(eng, i, startGHz)
+	if len(m.Cores) != cfg.Cores {
+		m.Cores = make([]*cpu.Core, cfg.Cores)
+		for i := range m.Cores {
+			m.Cores[i] = cpu.NewCore(eng, i, startGHz)
+		}
+	} else {
+		for _, c := range m.Cores {
+			c.Reset(startGHz)
+		}
 	}
-	gov := cpu.NewGovernor(eng, cores, cpu.GovernorConfig{
+	cores := m.Cores
+	m.Gov = cpu.NewGovernor(eng, cores, cpu.GovernorConfig{
 		MinGHz: 2.48, MaxGHz: 2.5,
 		DitherGHz: 0.01, RNG: rng.Fork("governor-dither"),
 	})
 	if cfg.Isolation.FixedFreqGHz > 0 {
-		gov.Fix(cfg.Isolation.FixedFreqGHz)
+		m.Gov.Fix(cfg.Isolation.FixedFreqGHz)
 	}
 
-	ctl := interrupt.NewController(eng, cores, rng.Fork("irq"), prof.irq)
+	if m.Ctl == nil || m.Ctl.NumCores() != len(cores) {
+		m.Ctl = interrupt.NewController(eng, cores, rng.Fork("irq"), prof.irq)
+	} else {
+		m.Ctl.Reset(rng.Fork("irq"), prof.irq)
+	}
 	if cfg.Isolation.RemoveIRQs {
-		ctl.SetRouting(interrupt.RoutePinned, IRQPinCore)
+		m.Ctl.SetRouting(interrupt.RoutePinned, IRQPinCore)
 	}
 	if cfg.Isolation.SeparateVMs {
-		ctl.SetVM(AttackerCore, true)
-		ctl.SetVM(VictimCore, true)
+		m.Ctl.SetVM(AttackerCore, true)
+		m.Ctl.SetVM(VictimCore, true)
 	}
-	ctl.StartTimerTicks()
+	m.Ctl.StartTimerTicks()
 
-	m := &Machine{
-		Eng: eng, Cores: cores, Ctl: ctl, Gov: gov,
-		Cache: cache.NewOccupancyModel(cfg.CacheGeometry),
-		cfg:   cfg, rng: rng,
+	if m.Cache == nil {
+		m.Cache = cache.NewOccupancyModel(cfg.CacheGeometry)
+	} else {
+		m.Cache.Reset(cfg.CacheGeometry)
 	}
+	m.cfg = cfg
+	m.rng = rng
 	m.Sched = newScheduler(m, cfg.Isolation.PinCores)
 	m.startBaseline(prof)
 	if cfg.BackgroundNoise {
 		m.startNoiseApps()
 	}
-	return m
 }
 
 // Attacker returns the core the attacker task runs on.

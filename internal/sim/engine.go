@@ -7,10 +7,7 @@
 // from a single root seed.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point on the virtual clock, in nanoseconds since simulation start.
 type Time int64
@@ -45,67 +42,146 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Milliseconds reports t as floating-point milliseconds.
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
 
-// Event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
+// entry is one pending event in the priority queue. Entries are stored by
+// value — the queue is an inline 4-ary heap, so pushing and popping moves
+// 24-byte records inside one backing array instead of allocating per event.
+// The callback lives in a slab slot referenced by index, which lets periodic
+// sources keep one slot alive across fires (re-arm) while one-shot slots
+// recycle through a free list.
+type entry struct {
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	slot int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// slot holds one scheduled callback. next links the free list when the slot
+// is unused.
+type slot struct {
+	fn       func()
+	periodic bool
+	next     int32
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) Peek() *event   { return h[0] }
-func (h eventHeap) PeekTime() Time { return h[0].at }
-func (h eventHeap) Empty() bool    { return len(h) == 0 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	heap    []entry
+	slots   []slot
+	free    int32 // head of the slot free list; -1 when empty
 	stopped bool
-	// Processed counts events executed since creation; useful for
-	// budget checks and performance diagnostics.
+	// Processed counts events executed since creation (or the last Reset);
+	// useful for budget checks and performance diagnostics.
 	Processed uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.pq)
-	return e
+	return &Engine{free: -1}
+}
+
+// Reset returns the engine to its initial state — clock at zero, queue
+// empty, counters cleared — while keeping the heap and slab allocations for
+// reuse. A reset engine behaves identically to a fresh NewEngine().
+func (e *Engine) Reset() {
+	e.now, e.seq, e.Processed = 0, 0, 0
+	e.stopped = false
+	e.heap = e.heap[:0]
+	clear(e.slots) // release retained closures
+	e.slots = e.slots[:0]
+	e.free = -1
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Schedule runs fn at the given absolute virtual time. Scheduling in the past
-// is clamped to the present (the event runs "immediately", after currently
-// pending events at the same timestamp).
-func (e *Engine) Schedule(at Time, fn func()) {
+// alloc takes a slot from the free list, growing the slab only when empty.
+func (e *Engine) alloc() int32 {
+	if id := e.free; id >= 0 {
+		e.free = e.slots[id].next
+		return id
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+// release returns a slot to the free list and drops its closure reference.
+func (e *Engine) release(id int32) {
+	e.slots[id] = slot{next: e.free}
+	e.free = id
+}
+
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.heap[i], &e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends an entry and sifts it up the 4-ary heap.
+func (e *Engine) push(en entry) {
+	e.heap = append(e.heap, en)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(i, p) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum entry.
+func (e *Engine) pop() entry {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(j, best) {
+				best = j
+			}
+		}
+		if !e.less(best, i) {
+			break
+		}
+		e.heap[i], e.heap[best] = e.heap[best], e.heap[i]
+		i = best
+	}
+	return top
+}
+
+// schedule pushes a callback slot at the given time, clamping the past to
+// the present (the event runs "immediately", after currently pending events
+// at the same timestamp).
+func (e *Engine) schedule(at Time, id int32) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+	e.push(entry{at: at, seq: e.seq, slot: id})
+}
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the past
+// is clamped to the present.
+func (e *Engine) Schedule(at Time, fn func()) {
+	id := e.alloc()
+	e.slots[id].fn = fn
+	e.schedule(at, id)
 }
 
 // After runs fn after d nanoseconds of virtual time.
@@ -114,22 +190,33 @@ func (e *Engine) After(d Duration, fn func()) { e.Schedule(e.now+d, fn) }
 // Stop halts Run after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// fire pops the minimum entry and executes its callback, recycling one-shot
+// slots before the callback runs so rescheduling can reuse them.
+func (e *Engine) fire() {
+	en := e.pop()
+	s := &e.slots[en.slot]
+	fn := s.fn
+	if !s.periodic {
+		e.release(en.slot)
+	}
+	if en.at > e.now {
+		e.now = en.at
+	}
+	e.Processed++
+	fn()
+}
+
 // Run executes events until the queue is empty or the clock would pass
 // `until`. Events scheduled exactly at `until` are executed. It returns the
 // final clock value, which is min(until, time of last event) but never less
 // than the starting clock.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for !e.pq.Empty() && !e.stopped {
-		if e.pq.PeekTime() > until {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > until {
 			break
 		}
-		ev := heap.Pop(&e.pq).(*event)
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		e.Processed++
-		ev.fn()
+		e.fire()
 	}
 	if until > e.now {
 		e.now = until
@@ -140,19 +227,14 @@ func (e *Engine) Run(until Time) Time {
 // RunAll executes every pending event regardless of timestamp.
 func (e *Engine) RunAll() Time {
 	e.stopped = false
-	for !e.pq.Empty() && !e.stopped {
-		ev := heap.Pop(&e.pq).(*event)
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		e.Processed++
-		ev.fn()
+	for len(e.heap) > 0 && !e.stopped {
+		e.fire()
 	}
 	return e.now
 }
 
 // Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Ticker invokes fn every `period` starting at `start` until the engine
 // stops running or cancel is called. fn receives the tick time.
@@ -164,21 +246,26 @@ type Ticker struct {
 func (t *Ticker) Cancel() { t.cancelled = true }
 
 // Tick schedules a periodic callback. The returned Ticker cancels it.
+// Periodic sources own a single slab slot for their whole lifetime: each
+// fire re-arms the same slot instead of re-pushing a fresh closure, so
+// steady-state ticking performs no allocation at all.
 func (e *Engine) Tick(start Time, period Duration, fn func(now Time)) *Ticker {
 	if period <= 0 {
 		panic("sim: Tick period must be positive")
 	}
 	t := &Ticker{}
-	var step func()
+	id := e.alloc()
 	next := start
-	step = func() {
+	e.slots[id].periodic = true
+	e.slots[id].fn = func() {
 		if t.cancelled {
+			e.release(id)
 			return
 		}
 		fn(e.now)
 		next += period
-		e.Schedule(next, step)
+		e.schedule(next, id)
 	}
-	e.Schedule(start, step)
+	e.schedule(start, id)
 	return t
 }

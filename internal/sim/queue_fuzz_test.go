@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEvent and refHeap are the pre-rewrite event queue: a container/heap of
+// pointer events ordered by (time, seq). The fuzzer drives the slab-backed
+// inline heap and this reference model through identical operation
+// sequences and requires identical pop order.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// refEngine reimplements the engine's Schedule/Run/Stop semantics on the
+// reference heap.
+type refEngine struct {
+	now     Time
+	seq     uint64
+	pq      refHeap
+	stopped bool
+}
+
+func (e *refEngine) schedule(at Time, id int) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &refEvent{at: at, seq: e.seq, id: id})
+}
+
+func (e *refEngine) run(until Time, fired func(id int)) {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		if e.pq[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.pq).(*refEvent)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		fired(ev.id)
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+type firing struct {
+	id  int
+	now Time
+}
+
+// FuzzEventQueue drives random schedule/run/stop interleavings through both
+// queues. Every event records (its insertion id, the clock when it fired);
+// the two logs must match exactly, which pins the (time, seq) tie-break,
+// the clamp-past-to-present rule, and Stop semantics across the heap
+// rewrite.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 50, 0, 10, 2, 0, 1, 255})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 0, 1, 1, 1, 2})
+	f.Add([]byte{3, 7, 0, 3, 1, 20, 3, 1, 2, 1, 200})
+	f.Add([]byte{2, 5, 0, 5, 0, 5, 1, 100, 1, 100})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		eng := NewEngine()
+		ref := &refEngine{}
+		var gotLog, refLog []firing
+		nextID := 0
+		stopIDs := map[int]bool{}
+
+		refFired := func(id int) {
+			refLog = append(refLog, firing{id, ref.now})
+			if stopIDs[id] {
+				ref.stopped = true
+			}
+		}
+		schedule := func(delta Time, stop bool) {
+			id := nextID
+			nextID++
+			if stop {
+				stopIDs[id] = true
+			}
+			eng.Schedule(eng.Now()+delta, func() {
+				gotLog = append(gotLog, firing{id, eng.Now()})
+				if stop {
+					eng.Stop()
+				}
+			})
+			ref.schedule(ref.now+delta, id)
+		}
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%4, Time(ops[i+1])
+			switch op {
+			case 0: // one-shot event at now+arg
+				schedule(arg, false)
+			case 1: // run until now+arg
+				until := eng.Now() + arg
+				eng.Run(until)
+				ref.run(until, refFired)
+			case 2: // event that stops the engine when it fires
+				schedule(arg, true)
+			case 3: // two events at the same timestamp (forces a tie)
+				schedule(arg, false)
+				schedule(arg, false)
+			}
+		}
+		// Drain both queues completely, honouring any pending stop events.
+		const horizon = Time(1) << 40
+		for eng.Pending() > 0 {
+			eng.Run(horizon)
+		}
+		for len(ref.pq) > 0 {
+			ref.run(horizon, refFired)
+		}
+
+		if len(gotLog) != len(refLog) {
+			t.Fatalf("fired %d events, reference fired %d", len(gotLog), len(refLog))
+		}
+		for i := range gotLog {
+			if gotLog[i] != refLog[i] {
+				t.Fatalf("firing %d: engine %+v, reference %+v", i, gotLog[i], refLog[i])
+			}
+		}
+		if eng.Now() != ref.now {
+			t.Fatalf("clocks diverged: engine %v, reference %v", eng.Now(), ref.now)
+		}
+	})
+}

@@ -48,6 +48,10 @@ func (t Trace) Normalized() []float64 { return stats.NormalizeMax(t.Values) }
 type Dataset struct {
 	Traces     []Trace
 	NumClasses int
+	// TrimmedSamples counts samples dropped when the collection harness
+	// aligned traces to a common length (jittered timers can make trace
+	// lengths differ by a sample or two). Zero when every trace agreed.
+	TrimmedSamples int
 }
 
 // Len returns the number of traces.
