@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-smoke ci clean
+.PHONY: all build vet test race bench bench-ml bench-smoke bench-obs smoke-obs ci clean
 
 all: build
 
@@ -17,9 +17,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages (training engine, fold/collection pools,
-# event engine, machine lifecycle) under the race detector.
+# event engine, machine lifecycle, metrics registry/tracer) under the race
+# detector.
 race:
-	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs
 
 # Full benchmark sweep (slow: regenerates every table/figure at bench scale).
 bench:
@@ -32,10 +33,24 @@ bench-ml:
 # One-iteration pass over the simulation-side benchmarks: catches bit-rot in
 # benchmark code without paying for stable timings.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/kernel ./internal/core
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/sim ./internal/kernel ./internal/core ./internal/obs
 
-ci: build vet test race bench-smoke
+# Observability overhead check: the instrumented collection sweep with obs
+# off must match BenchmarkCollectDataset (see EXPERIMENTS.md baselines).
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkCollectDataset$$|BenchmarkObs' -benchmem ./internal/core
+
+# End-to-end observability smoke: a small obs-enabled run must produce a
+# manifest containing per-cell rows (grep proves the derivation ran).
+smoke-obs:
+	rm -rf smoke-obs-out
+	$(GO) run ./cmd/experiments -scale small -only bg,f7 -obs -outdir smoke-obs-out -manifest run.json
+	grep -q '"scenario": "bgnoise/quiet"' smoke-obs-out/run.json
+	rm -rf smoke-obs-out
+
+ci: build vet test race bench-smoke smoke-obs
 
 clean:
 	$(GO) clean
 	rm -f cpu.prof mem.prof
+	rm -rf smoke-obs-out

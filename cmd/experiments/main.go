@@ -5,11 +5,19 @@
 // Usage:
 //
 //	experiments [-scale small|medium|full] [-only t1,t2,f3,...] [-out dir]
-//	            [-md report.md] [-seed N] [-cpuprofile f] [-memprofile f]
+//	            [-md report.md] [-seed N] [-clf centroid|knn|logreg|cnn]
+//	            [-obs] [-progress 2s] [-manifest run.json] [-httpaddr :0]
+//	            [-outdir dir] [-cpuprofile f] [-memprofile f]
 //
 // The paper's full scale (100 sites × 100 traces + 5000 open world) takes
 // hours; "small" runs in about a minute and preserves every qualitative
 // shape. EXPERIMENTS.md records the calibrated comparisons.
+//
+// -obs turns on the observability layer (internal/obs): pipeline metrics,
+// span tracing, and warnings. -progress, -manifest, and -httpaddr each
+// imply -obs. Relative manifest/metrics/profile paths resolve under
+// -outdir when set, so one directory collects every run artifact; the
+// manifest is written on failure too, recording how far the run got.
 package main
 
 import (
@@ -17,11 +25,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/stats"
 )
@@ -40,39 +48,62 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	cells := flag.Int("cells", 0, "max experiment cells in flight (0 = unbounded; compute stays CPU-bounded)")
 	dsCacheCap := flag.Int("dscache", 8, "datasets retained by the in-process collection cache (0 disables)")
+	clf := flag.String("clf", "", "classifier for all experiments: centroid (default), knn, logreg, cnn")
+	obsOn := flag.Bool("obs", false, "enable the observability layer (metrics + span tracing)")
+	progress := flag.Duration("progress", 0, "live progress-line interval on stderr (implies -obs)")
+	manifestPath := flag.String("manifest", "", "write a run-manifest JSON to this file (implies -obs)")
+	httpAddr := flag.String("httpaddr", "", "serve /debug/vars and /debug/pprof on this address (implies -obs)")
+	obsDir := flag.String("outdir", "", "directory observability artifacts land in: manifest, metrics.json, profiles")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	core.SetDatasetCacheCapacity(*dsCacheCap)
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	mk, err := core.ClassifierByName(*clf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	core.SetDefaultClassifier(mk)
+
+	if *progress > 0 || *manifestPath != "" || *httpAddr != "" {
+		*obsOn = true
+	}
+	if *obsOn {
+		obs.Enable()
+	}
+
+	// Observability artifacts share -outdir; relative paths resolve into it.
+	resolve := func(p string) string {
+		if p == "" || *obsDir == "" || filepath.IsAbs(p) {
+			return p
+		}
+		return filepath.Join(*obsDir, p)
+	}
+	if *obsDir != "" {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	prof, err := obs.StartProfile(resolve(*cpuProfile), resolve(*memProfile))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+	if *httpAddr != "" {
+		addr, closeDebug, err := obs.ServeDebug(*httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
-	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
+		fmt.Fprintf(os.Stderr, "obs: debug server on http://%s/debug/vars\n", addr)
+		defer closeDebug()
 	}
 
 	sc, figRuns, err := scaleFor(*scale, *seed)
@@ -95,6 +126,48 @@ func run() int {
 			return 1
 		}
 	}
+
+	start := time.Now()
+	rep := obs.StartReporter(os.Stderr, *progress, core.ProgressLine)
+	// writeObs flushes the run's observability artifacts. It runs on the
+	// failure path too: a manifest of a crashed run records how far it got
+	// and which cell failed.
+	writeObs := func(runErr error) {
+		rep.Stop()
+		if !*obsOn {
+			return
+		}
+		if *obsDir != "" {
+			if err := obs.WriteMetricsFile(filepath.Join(*obsDir, "metrics.json")); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		if *manifestPath == "" {
+			return
+		}
+		m := obs.NewManifest("experiments-" + *scale)
+		m.Config["scale"] = *scale
+		m.Config["seed"] = fmt.Sprint(*seed)
+		m.Config["only"] = *only
+		m.Config["classifier"] = *clf
+		if *clf == "" {
+			m.Config["classifier"] = "centroid"
+		}
+		m.Config["cells"] = fmt.Sprint(*cells)
+		m.Config["dscache"] = fmt.Sprint(*dsCacheCap)
+		if runErr != nil {
+			m.Config["error"] = runErr.Error()
+		}
+		m.Sections = core.ManifestSections(time.Since(start))
+		m.Finish(obs.Default, obs.DefaultTracer, start)
+		path := resolve(*manifestPath)
+		if err := m.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "obs: manifest written to %s\n", path)
+	}
+
 	r := runner{sc: sc, figRuns: figRuns, outDir: *outDir, seed: *seed, md: &strings.Builder{}}
 	fmt.Fprintf(r.md, "# Reproduction report (scale %s, seed %d)\n", *scale, *seed)
 	steps := []struct {
@@ -111,10 +184,13 @@ func run() int {
 			continue
 		}
 		if err := st.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", st.key, err)
+			err = fmt.Errorf("%s: %w", st.key, err)
+			fmt.Fprintln(os.Stderr, err)
+			writeObs(err)
 			return 1
 		}
 	}
+	writeObs(nil)
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(r.md.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)

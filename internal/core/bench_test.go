@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/browser"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/website"
 )
@@ -63,6 +64,46 @@ func BenchmarkCollectDatasetParallel(b *testing.B) {
 		if _, err := collectDatasetForTest(scn, sc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsDisabled is the observability overhead guard: the
+// instrumented single-threaded dataset sweep with obs off must match
+// BenchmarkCollectDataset's time and allocation counts (the PR 2 baseline
+// recorded in EXPERIMENTS.md). With obs off the instrumentation reduces to
+// a handful of atomic adds per trace — no spans, no timestamps, no
+// allocations.
+func BenchmarkObsDisabled(b *testing.B) {
+	scn := benchScenario()
+	sc := benchCollectScale
+	sc.Parallelism = 1
+	obs.Disable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := collectDataset(scn, sc, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsEnabled is the same sweep with full tracing on, bounding what
+// turning observability on costs (sampled trace spans plus slot timing).
+func BenchmarkObsEnabled(b *testing.B) {
+	scn := benchScenario()
+	sc := benchCollectScale
+	sc.Parallelism = 1
+	obs.Enable()
+	defer obs.Disable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.DefaultTracer.Reset()
+		sp := obs.StartSpan(nil, "bench")
+		if _, _, err := collectDataset(scn, sc, sp); err != nil {
+			b.Fatal(err)
+		}
+		sp.End()
 	}
 }
 

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/browser"
 	"repro/internal/clockface"
 	"repro/internal/defense"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tornet"
 	"repro/internal/trace"
@@ -136,6 +138,11 @@ func collectOne(m *kernel.Machine, scn Scenario, profile website.Profile, label,
 	}
 	tr.Domain = profile.Domain
 	tr.Label = label
+	// Event totals come from the engine's counters after the run — the
+	// event loop itself carries no hooks (see sim.TestSteadyStateAllocFree).
+	cTraces.Inc()
+	cSimProcessed.Add(int64(m.Eng.Processed))
+	cSimScheduled.Add(int64(m.Eng.Scheduled()))
 	return tr, nil
 }
 
@@ -153,10 +160,12 @@ type collectJob struct {
 // exit after their current job. newRun is called once per worker so each
 // worker can own private per-worker state (a machine arena); every job
 // additionally holds a global compute slot, so concurrently running
-// experiment cells share one CPU budget. The returned error wraps the
-// failing job's scenario, domain, and visit so a bad simulation is traceable
-// without rerunning the sweep.
-func runCollectJobs(scenario string, jobs []collectJob, par int, newRun func() func(collectJob) (trace.Trace, error)) ([]trace.Trace, error) {
+// experiment cells share one CPU budget. Alongside the traces it returns the
+// total slot-held (compute) time in nanoseconds, and records a sampled
+// "trace" span per traceSpanSample-th job under parent. The returned error
+// wraps the failing job's scenario, domain, and visit so a bad simulation is
+// traceable without rerunning the sweep.
+func runCollectJobs(scenario string, jobs []collectJob, par int, parent *obs.Span, newRun func() func(collectJob) (trace.Trace, error)) ([]trace.Trace, int64, error) {
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
@@ -167,6 +176,7 @@ func runCollectJobs(scenario string, jobs []collectJob, par int, newRun func() f
 	var (
 		once     sync.Once
 		firstErr error
+		busyNS   atomic.Int64
 	)
 	cancel := make(chan struct{})
 	fail := func(err error) {
@@ -183,9 +193,15 @@ func runCollectJobs(scenario string, jobs []collectJob, par int, newRun func() f
 			defer wg.Done()
 			run := newRun()
 			for j := range ch {
-				acquireSlot()
+				t0 := acquireSlot()
+				var tsp *obs.Span
+				if j.slot%traceSpanSample == 0 {
+					tsp = obs.StartSpan(parent, "trace")
+					tsp.SetAttr("domain", j.profile.Domain).SetAttr("visit", j.visit)
+				}
 				tr, err := run(j)
-				releaseSlot()
+				busyNS.Add(releaseSlot(t0))
+				tsp.End()
 				if err != nil {
 					fail(fmt.Errorf("core: collect %q %s visit %d: %w",
 						scenario, j.profile.Domain, j.visit, err))
@@ -206,9 +222,9 @@ produce:
 	close(ch)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, busyNS.Load(), firstErr
 	}
-	return results, nil
+	return results, busyNS.Load(), nil
 }
 
 // CollectDataset builds the full labeled dataset for a scenario at the
@@ -223,30 +239,53 @@ produce:
 // are shared with the cache and must be treated as read-only (the ML
 // preprocessing pipeline copies values before mutating them).
 func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
+	return collectDatasetSpanned(nil, scn, sc)
+}
+
+// collectDatasetSpanned is CollectDataset under an optional parent span
+// (a "cell" span from RunExperiment). The "collect" span it records carries
+// the facts the manifest's per-cell rows need: trace count, trimmed-sample
+// count, whether the dataset came from the cache, and slot-held compute
+// time.
+func collectDatasetSpanned(parent *obs.Span, scn Scenario, sc Scale) (*trace.Dataset, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	if err := scn.normalize(); err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(parent, "collect")
+	sp.SetAttr("scenario", scn.Name)
+	ran := false
+	var busy int64
 	ds, err := dsCache.getOrCollect(datasetCacheKey(scn, sc), func() (*trace.Dataset, error) {
-		return collectDataset(scn, sc)
+		ran = true
+		d, b, err := collectDataset(scn, sc, sp)
+		busy = b
+		return d, err
 	})
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return nil, err
 	}
+	sp.SetAttr("cached", !ran).SetAttr("traces", len(ds.Traces)).
+		SetAttr("trimmed_samples", ds.TrimmedSamples).SetAttr("busy_ns", busy)
+	sp.End()
 	out := *ds
 	out.Traces = append([]trace.Trace(nil), ds.Traces...)
 	return &out, nil
 }
 
-// collectDataset is the uncached collection path.
-func collectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
+// collectDataset is the uncached collection path. It reports the total
+// slot-held compute time alongside the dataset; parent (may be nil) is the
+// span sampled per-trace spans attach to.
+func collectDataset(scn Scenario, sc Scale, parent *obs.Span) (*trace.Dataset, int64, error) {
 	if err := sc.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := scn.normalize(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	domains := website.ClosedWorldDomains()[:sc.Sites]
 
@@ -266,14 +305,14 @@ func collectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 		})
 	}
 
-	results, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, func() func(collectJob) (trace.Trace, error) {
+	results, busy, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, parent, func() func(collectJob) (trace.Trace, error) {
 		arena := &kernel.Machine{}
 		return func(j collectJob) (trace.Trace, error) {
 			return collectOne(arena, scn, j.profile, j.label, j.visit, sc.Seed)
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, busy, err
 	}
 
 	classes := sc.Sites
@@ -292,14 +331,23 @@ func collectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 		}
 	}
 	if minLen == 0 {
-		return nil, fmt.Errorf("core: collect %q: a trace produced no samples; refusing to trim dataset to zero length", scn.Name)
+		return nil, busy, fmt.Errorf("core: collect %q: a trace produced no samples; refusing to trim dataset to zero length", scn.Name)
 	}
 	for i := range ds.Traces {
 		ds.TrimmedSamples += len(ds.Traces[i].Values) - minLen
 		ds.Traces[i].Values = ds.Traces[i].Values[:minLen]
 	}
-	if err := ds.Validate(); err != nil {
-		return nil, err
+	cTrimmed.Add(int64(ds.TrimmedSamples))
+	// Heavy trimming means the shortest trace diverged from the rest and
+	// the whole dataset was cut down to it — worth a warning, since it
+	// quietly discards signal from every other trace.
+	if total := len(results)*minLen + ds.TrimmedSamples; ds.TrimmedSamples*100 > total {
+		obs.Warnf("collect %q: trimmed %d of %d samples (%.1f%%) equalizing trace lengths",
+			scn.Name, ds.TrimmedSamples, total,
+			100*float64(ds.TrimmedSamples)/float64(total))
 	}
-	return ds, nil
+	if err := ds.Validate(); err != nil {
+		return nil, busy, err
+	}
+	return ds, busy, nil
 }

@@ -73,6 +73,7 @@ func (c *datasetCache) evictLocked() {
 			}
 			delete(c.entries, k)
 			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			cDSEvictions.Inc()
 			over--
 			evicted = true
 			break
@@ -90,11 +91,13 @@ func (c *datasetCache) getOrCollect(key uint64, collect func() (*trace.Dataset, 
 	c.mu.Lock()
 	if c.cap <= 0 {
 		c.mu.Unlock()
+		cDSBypass.Inc()
 		return collect()
 	}
 	if e, ok := c.entries[key]; ok {
 		c.touchLocked(key)
 		c.mu.Unlock()
+		cDSHits.Inc()
 		<-e.ready
 		return e.ds, e.err
 	}
@@ -103,6 +106,7 @@ func (c *datasetCache) getOrCollect(key uint64, collect func() (*trace.Dataset, 
 	c.touchLocked(key)
 	c.evictLocked()
 	c.mu.Unlock()
+	cDSMisses.Inc()
 
 	e.ds, e.err = collect()
 	close(e.ready)

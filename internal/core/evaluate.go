@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -19,6 +21,42 @@ type ClassifierMaker func(seed uint64) ml.Classifier
 // a tiny fraction of the runtime (see BenchmarkAblationClassifiers).
 func DefaultClassifier(seed uint64) ml.Classifier {
 	return &ml.NearestCentroid{Prep: ml.DefaultPreprocessor}
+}
+
+// defaultClassifierOverride, when non-nil, replaces the built-in default
+// for every Evaluate call with a nil maker — including all table and figure
+// experiments, which is how cmd/experiments' -clf flag swaps the whole
+// run's classifier.
+var defaultClassifierOverride ClassifierMaker
+
+// SetDefaultClassifier overrides the classifier used when callers pass a
+// nil maker. Passing nil restores the built-in default (nearest centroid;
+// threshold-rejection variant on open-world datasets). Not safe to call
+// concurrently with running experiments.
+func SetDefaultClassifier(mk ClassifierMaker) { defaultClassifierOverride = mk }
+
+// ClassifierByName maps a command-line name to a ClassifierMaker. The empty
+// string and "centroid" return a nil maker, i.e. the built-in default.
+// Gradient-trained classifiers ("logreg", "cnn") exercise ml.Fit and so
+// populate the epoch-loss metrics and ml.fit spans in run manifests.
+func ClassifierByName(name string) (ClassifierMaker, error) {
+	switch name {
+	case "", "centroid", "nearest-centroid":
+		return nil, nil
+	case "knn":
+		return func(uint64) ml.Classifier {
+			return &ml.KNN{K: 5, Prep: ml.DefaultPreprocessor}
+		}, nil
+	case "logreg":
+		return func(seed uint64) ml.Classifier {
+			return &ml.LogReg{Prep: ml.DefaultPreprocessor, Seed: seed}
+		}, nil
+	case "cnn", "cnn-lstm":
+		return func(seed uint64) ml.Classifier {
+			return &ml.CNNLSTM{Prep: ml.DefaultPreprocessor, Seed: seed}
+		}, nil
+	}
+	return nil, fmt.Errorf("core: unknown classifier %q (want centroid, knn, logreg, or cnn)", name)
 }
 
 // Result summarizes one experiment's cross-validated accuracy.
@@ -57,6 +95,16 @@ func (r Result) String() string {
 // datasets use DefaultClassifier and open-world ones its threshold-reject
 // variant (ml.OpenWorldCentroid).
 func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Result, error) {
+	return evaluateSpanned(nil, ds, sc, mk, name)
+}
+
+// evaluateSpanned is Evaluate under an optional parent span. The
+// "evaluate" span carries the fold count and total slot-held compute time;
+// each fold records a child "fold" span.
+func evaluateSpanned(parent *obs.Span, ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Result, error) {
+	if mk == nil {
+		mk = defaultClassifierOverride
+	}
 	if mk == nil {
 		if ds.NumClasses == sc.Sites+1 {
 			ns := sc.NonSensitiveLabel()
@@ -71,6 +119,10 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 	if err != nil {
 		return Result{}, err
 	}
+	sp := obs.StartSpan(parent, "evaluate")
+	sp.SetAttr("scenario", name).SetAttr("folds", len(folds))
+	defer sp.End()
+	var busyNS atomic.Int64
 	nsLabel := sc.NonSensitiveLabel()
 	openWorld := ds.NumClasses == sc.Sites+1
 
@@ -100,12 +152,17 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 		go func() {
 			defer wg.Done()
 			for fi := range ch {
-				acquireSlot()
+				t0 := acquireSlot()
+				fsp := obs.StartSpan(sp, "fold")
 				fold := folds[fi]
 				clf := mk(sc.Seed + uint64(fi))
+				fsp.SetAttr("fold", fi).SetAttr("classifier", clf.Name()).
+					SetAttr("test_size", len(fold.Test))
 				if err := clf.Fit(ds.Subset(fold.Train)); err != nil {
 					outs[fi].err = fmt.Errorf("fold %d: %w", fi, err)
-					releaseSlot()
+					busyNS.Add(releaseSlot(t0))
+					fsp.SetAttr("error", err.Error())
+					fsp.End()
 					continue
 				}
 				labels := make([]int, len(fold.Test))
@@ -126,7 +183,9 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 					}
 				}
 				outs[fi] = foldOut{scores: scores, labels: labels}
-				releaseSlot()
+				busyNS.Add(releaseSlot(t0))
+				fsp.End()
+				cFolds.Inc()
 			}
 		}()
 	}
@@ -135,6 +194,7 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 	}
 	close(ch)
 	wg.Wait()
+	sp.SetAttr("busy_ns", busyNS.Load())
 
 	confusion := stats.NewConfusionMatrix(ds.NumClasses)
 	var top1s, top5s, sens, nonsens, combined []float64
@@ -191,13 +251,25 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 }
 
 // RunExperiment collects a dataset for the scenario and evaluates it —
-// the full offline-training + online-attack pipeline of §4.1.
+// the full offline-training + online-attack pipeline of §4.1. Each call
+// records a "cell" span whose "collect"/"evaluate" children become one row
+// of the run manifest's per-cell summary.
 func RunExperiment(scn Scenario, sc Scale, mk ClassifierMaker) (Result, error) {
-	ds, err := CollectDataset(scn, sc)
+	sp := obs.StartSpan(nil, "cell")
+	sp.SetAttr("scenario", scn.Name)
+	defer sp.End()
+	ds, err := collectDatasetSpanned(sp, scn, sc)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return Result{}, err
 	}
-	return Evaluate(ds, sc, mk, scn.Name)
+	res, err := evaluateSpanned(sp, ds, sc, mk, scn.Name)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return Result{}, err
+	}
+	sp.SetAttr("top1_mean", res.Top1.Mean).SetAttr("top5_mean", res.Top5.Mean)
+	return res, nil
 }
 
 // CompareSignificance runs the paper's two-sample t-test between two

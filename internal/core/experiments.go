@@ -30,12 +30,14 @@ type experimentCell struct {
 // evaluation instead of oversubscribing the CPU. Results are written to
 // per-cell destinations, keeping row order deterministic.
 func runExperimentCells(cells []experimentCell, par int) error {
+	cCellsPlanned.Add(int64(len(cells)))
 	return runCells(len(cells), par, func(i int) error {
 		res, err := RunExperiment(cells[i].scn, cells[i].scale, nil)
 		if err != nil {
 			return err
 		}
 		*cells[i].dst = res
+		cCellsCompleted.Inc()
 		return nil
 	})
 }

@@ -73,9 +73,9 @@ func Figure4(runs int, seed uint64) ([]Figure4Series, error) {
 		arena := &kernel.Machine{}
 		traces := make([]trace.Trace, runs)
 		for v := 0; v < runs; v++ {
-			acquireSlot()
+			t0 := acquireSlot()
 			tr, err := collectOne(arena, scn, profile, 0, v, seed)
-			releaseSlot()
+			releaseSlot(t0)
 			if err != nil {
 				return err
 			}

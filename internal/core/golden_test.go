@@ -44,7 +44,8 @@ func hashDataset(ds *trace.Dataset) uint64 {
 // collectDatasetForTest bypasses the in-process dataset cache so both
 // collections below genuinely re-simulate every trace.
 func collectDatasetForTest(scn Scenario, sc Scale) (*trace.Dataset, error) {
-	return collectDataset(scn, sc)
+	ds, _, err := collectDataset(scn, sc, nil)
+	return ds, err
 }
 
 // goldenScale is the grid's dataset size: small enough to run in seconds,

@@ -3,6 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // simSlots bounds the number of CPU-bound simulation/evaluation units in
@@ -15,11 +18,32 @@ var simSlots = make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
 
 // acquireSlot blocks until a compute slot is free. Holders must not acquire
 // a second slot (units of work never nest), which keeps the semaphore
-// deadlock-free.
-func acquireSlot() { simSlots <- struct{}{} }
+// deadlock-free. The returned token is the hold start time when
+// observability is on (zero otherwise); pass it to releaseSlot.
+func acquireSlot() time.Time {
+	simSlots <- struct{}{}
+	gSlotsInUse.Add(1)
+	cSlotsAcquired.Inc()
+	if obs.On() {
+		return time.Now()
+	}
+	return time.Time{}
+}
 
-// releaseSlot returns a compute slot.
-func releaseSlot() { <-simSlots }
+// releaseSlot returns a compute slot and reports how long it was held
+// (0 when observability was off at acquire time). Held time is the
+// pipeline's proxy for CPU-bound compute: slot holders are exactly the
+// units that saturate a core.
+func releaseSlot(t0 time.Time) int64 {
+	<-simSlots
+	gSlotsInUse.Add(-1)
+	if t0.IsZero() {
+		return 0
+	}
+	held := time.Since(t0).Nanoseconds()
+	cSlotBusyNS.Add(held)
+	return held
+}
 
 // runCells executes n independent experiment cells on up to par goroutines
 // (par <= 0 means all cells at once — safe because the real compute

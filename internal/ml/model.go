@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -186,6 +188,17 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 	for i := range order {
 		order[i] = i
 	}
+	// Epoch loss/throughput hooks: the span and wall clock only exist
+	// when observability is on; the per-epoch metric updates are single
+	// atomic adds against an epoch of GEMM work.
+	sp := obs.StartSpan(nil, "ml.fit")
+	sp.SetAttr("samples", len(X)).SetAttr("parallelism", par)
+	var losses []float64
+	var fitStart time.Time
+	if obs.On() {
+		fitStart = time.Now()
+	}
+	epochsRun := 0
 	bestVal := -1.0
 	sinceBest := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -200,6 +213,15 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 			totalLoss += eng.trainBatch(X, y, order[lo:hi], epochBase+uint64(lo))
 			opt.Step(hi - lo)
 		}
+		avgLoss := totalLoss / float64(len(X))
+		epochsRun++
+		mFitEpochs.Inc()
+		mFitSamples.Add(int64(len(X)))
+		fgLastLoss.Set(avgLoss)
+		hEpochLoss.Observe(avgLoss)
+		if sp != nil {
+			losses = append(losses, avgLoss)
+		}
 		valAcc := math.NaN()
 		if len(valX) > 0 {
 			valAcc = s.AccuracyParallel(valX, valY, par)
@@ -211,11 +233,22 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 			}
 		}
 		if cfg.Verbose != nil {
-			cfg.Verbose(epoch, totalLoss/float64(len(X)), valAcc)
+			cfg.Verbose(epoch, avgLoss, valAcc)
 		}
 		if cfg.Patience > 0 && epoch+1 >= cfg.MinEpochs && sinceBest >= cfg.Patience {
 			break
 		}
+	}
+	mFitCalls.Inc()
+	if sp != nil {
+		sp.SetAttr("epochs", epochsRun).SetAttr("losses", losses)
+		if bestVal >= 0 {
+			sp.SetAttr("best_val_acc", bestVal)
+		}
+		if sec := time.Since(fitStart).Seconds(); sec > 0 {
+			sp.SetAttr("samples_per_sec", float64(epochsRun*len(X))/sec)
+		}
+		sp.End()
 	}
 	return nil
 }

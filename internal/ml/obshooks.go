@@ -1,0 +1,16 @@
+package ml
+
+import "repro/internal/obs"
+
+// Observability handles for the training engine. Counters and gauges are
+// updated once per epoch (an atomic add against minutes of GEMM work);
+// spans and timestamps are gated on obs.On() inside Fit, so the training
+// hot path is untouched when observability is off.
+var (
+	mFitCalls   = obs.Default.Counter("ml.fit.calls")
+	mFitEpochs  = obs.Default.Counter("ml.fit.epochs")
+	mFitSamples = obs.Default.Counter("ml.fit.samples")
+	fgLastLoss  = obs.Default.FloatGauge("ml.fit.last_loss")
+	hEpochLoss  = obs.Default.Histogram("ml.fit.epoch_loss",
+		0.05, 0.1, 0.2, 0.5, 1, 2, 5)
+)

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; manifests report 0 CPU ms.
+func processCPUTime() time.Duration { return 0 }

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// BuildInfo is git-describe-style provenance for the binary that produced
+// a run, read from the Go build metadata.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// HostInfo describes the machine the run executed on.
+type HostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CellSummary is one experiment cell's digest, derived from the span tree
+// by the convention the core package follows: a "cell" span carrying a
+// "scenario" attribute, with "collect" and "evaluate" children.
+type CellSummary struct {
+	Scenario string  `json:"scenario"`
+	WallMS   float64 `json:"wall_ms"`
+	// CPUMS approximates the cell's compute time as the sum of wall time
+	// its collection jobs and evaluation folds spent holding compute
+	// slots — the slot-held sections are the CPU-bound work.
+	CPUMS          float64 `json:"cpu_ms"`
+	Traces         int     `json:"traces,omitempty"`
+	TrimmedSamples int     `json:"trimmed_samples"`
+	Cached         bool    `json:"cached,omitempty"`
+	Folds          int     `json:"folds,omitempty"`
+	Top1Mean       float64 `json:"top1_mean,omitempty"`
+	Top5Mean       float64 `json:"top5_mean,omitempty"`
+}
+
+// Manifest is the per-run JSON report: configuration, build provenance,
+// per-cell timings and accuracies, subsystem summaries, the full metrics
+// snapshot, the span log, and any warnings. Two manifests from the same
+// configuration diff cleanly (maps marshal sorted; cells sort by
+// scenario).
+type Manifest struct {
+	Schema    int       `json:"schema"`
+	Name      string    `json:"name"`
+	CreatedAt time.Time `json:"created_at"`
+	Build     BuildInfo `json:"build"`
+	Host      HostInfo  `json:"host"`
+	// WallMS and CPUMS cover the whole run: wall clock from Finish's
+	// start argument, CPU from process rusage (user + system).
+	WallMS float64 `json:"wall_ms"`
+	CPUMS  float64 `json:"cpu_ms"`
+
+	Config   map[string]string `json:"config,omitempty"`
+	Cells    []CellSummary     `json:"cells,omitempty"`
+	Sections map[string]any    `json:"sections,omitempty"`
+	Metrics  Snapshot          `json:"metrics"`
+	Spans    []SpanRecord      `json:"spans,omitempty"`
+	Warnings []string          `json:"warnings,omitempty"`
+}
+
+// NewManifest creates a manifest stamped with the current time, build
+// provenance, and host facts.
+func NewManifest(name string) *Manifest {
+	m := &Manifest{
+		Schema:    1,
+		Name:      name,
+		CreatedAt: time.Now().UTC(),
+		Build:     BuildInfo{GoVersion: runtime.Version()},
+		Host: HostInfo{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Config: make(map[string]string),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Build.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Build.Revision = s.Value
+			case "vcs.time":
+				m.Build.VCSTime = s.Value
+			case "vcs.modified":
+				m.Build.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Finish snapshots the registry and tracer into the manifest, derives the
+// per-cell summaries from the span tree, and stamps run wall/CPU time
+// (start is when the run began).
+func (m *Manifest) Finish(reg *Registry, tr *Tracer, start time.Time) {
+	m.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	m.CPUMS = float64(processCPUTime().Nanoseconds()) / 1e6
+	m.Metrics = reg.Snapshot()
+	m.Spans = tr.Records()
+	m.Warnings = Warnings()
+	m.Cells = deriveCells(m.Spans)
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// attr helpers tolerant of JSON round-trips (numbers may arrive as
+// float64 or int).
+func attrFloat(attrs map[string]any, key string) float64 {
+	switch v := attrs[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	}
+	return 0
+}
+
+func attrBool(attrs map[string]any, key string) bool {
+	b, _ := attrs[key].(bool)
+	return b
+}
+
+func attrString(attrs map[string]any, key string) string {
+	s, _ := attrs[key].(string)
+	return s
+}
+
+// deriveCells folds the span log into per-cell summaries: every "cell"
+// span becomes one row; its "collect"/"evaluate" children contribute
+// trace counts, trimming, cache state, fold counts, and slot-held
+// (compute) time.
+func deriveCells(spans []SpanRecord) []CellSummary {
+	byParent := make(map[uint64][]SpanRecord)
+	for _, s := range spans {
+		byParent[s.Parent] = append(byParent[s.Parent], s)
+	}
+	var cells []CellSummary
+	for _, s := range spans {
+		if s.Name != "cell" {
+			continue
+		}
+		c := CellSummary{
+			Scenario: attrString(s.Attrs, "scenario"),
+			WallMS:   float64(s.DurationNS) / 1e6,
+			Top1Mean: attrFloat(s.Attrs, "top1_mean"),
+			Top5Mean: attrFloat(s.Attrs, "top5_mean"),
+		}
+		for _, child := range byParent[s.ID] {
+			switch child.Name {
+			case "collect":
+				c.Traces = int(attrFloat(child.Attrs, "traces"))
+				c.TrimmedSamples = int(attrFloat(child.Attrs, "trimmed_samples"))
+				c.Cached = attrBool(child.Attrs, "cached")
+				c.CPUMS += attrFloat(child.Attrs, "busy_ns") / 1e6
+			case "evaluate":
+				c.Folds = int(attrFloat(child.Attrs, "folds"))
+				c.CPUMS += attrFloat(child.Attrs, "busy_ns") / 1e6
+			}
+		}
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Scenario < cells[j].Scenario })
+	return cells
+}

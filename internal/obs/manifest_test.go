@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestManifestDerivesCells builds a synthetic cell span tree and checks
+// the manifest digest: scenario name, wall time from the cell span,
+// compute time summed from collect+evaluate busy_ns, and cells sorted by
+// scenario for stable diffs.
+func TestManifestDerivesCells(t *testing.T) {
+	withObsOn(t, func() {
+		reg := NewRegistry()
+		reg.Counter("core.dscache.hits").Add(4)
+		tr := NewTracer(64)
+
+		for _, name := range []string{"t1/b", "t1/a"} {
+			cell := tr.Start(nil, "cell").SetAttr("scenario", name)
+			collect := tr.Start(cell, "collect").
+				SetAttr("traces", 12).
+				SetAttr("trimmed_samples", 7).
+				SetAttr("cached", true).
+				SetAttr("busy_ns", int64(2e6))
+			collect.End()
+			eval := tr.Start(cell, "evaluate").
+				SetAttr("folds", 4).
+				SetAttr("busy_ns", int64(3e6))
+			eval.End()
+			cell.SetAttr("top1_mean", 93.5).SetAttr("top5_mean", 99.0)
+			cell.End()
+		}
+
+		m := NewManifest("test-run")
+		m.Config["scale"] = "small"
+		m.Finish(reg, tr, time.Now().Add(-time.Millisecond))
+
+		if len(m.Cells) != 2 {
+			t.Fatalf("derived %d cells, want 2", len(m.Cells))
+		}
+		if m.Cells[0].Scenario != "t1/a" || m.Cells[1].Scenario != "t1/b" {
+			t.Errorf("cells not sorted by scenario: %+v", m.Cells)
+		}
+		c := m.Cells[0]
+		if c.Traces != 12 || c.TrimmedSamples != 7 || !c.Cached || c.Folds != 4 {
+			t.Errorf("cell digest wrong: %+v", c)
+		}
+		if c.CPUMS < 4.9 || c.CPUMS > 5.1 {
+			t.Errorf("cell CPUMS = %v, want ~5 (2ms collect + 3ms evaluate)", c.CPUMS)
+		}
+		if c.WallMS <= 0 {
+			t.Errorf("cell WallMS = %v, want > 0", c.WallMS)
+		}
+		if c.Top1Mean != 93.5 || c.Top5Mean != 99.0 {
+			t.Errorf("cell accuracies wrong: %+v", c)
+		}
+		if m.Metrics.Counters["core.dscache.hits"] != 4 {
+			t.Errorf("metrics snapshot missing: %+v", m.Metrics.Counters)
+		}
+		if m.WallMS <= 0 {
+			t.Errorf("run WallMS = %v, want > 0", m.WallMS)
+		}
+		if m.Build.GoVersion == "" || m.Host.NumCPU < 1 {
+			t.Errorf("build/host info missing: %+v %+v", m.Build, m.Host)
+		}
+	})
+}
+
+func TestManifestWriteFileRoundTrip(t *testing.T) {
+	withObsOn(t, func() {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "manifest.json")
+		m := NewManifest("rt")
+		m.Sections = map[string]any{"slot_pool": map[string]any{"capacity": 4}}
+		m.Finish(NewRegistry(), NewTracer(4), time.Now())
+		if err := m.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Manifest
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != "rt" || back.Schema != 1 {
+			t.Errorf("round trip lost fields: %+v", back)
+		}
+		if !strings.Contains(string(data), "slot_pool") {
+			t.Error("sections not serialized")
+		}
+	})
+}
+
+func TestWarnings(t *testing.T) {
+	withObsOn(t, func() {
+		ResetWarnings()
+		var buf bytes.Buffer
+		prev := WarnWriter
+		WarnWriter = &buf
+		defer func() { WarnWriter = prev; ResetWarnings() }()
+		Warnf("trimmed %d%% of samples", 3)
+		ws := Warnings()
+		if len(ws) != 1 || ws[0] != "trimmed 3% of samples" {
+			t.Fatalf("warnings = %v", ws)
+		}
+		if !strings.Contains(buf.String(), "obs: warning: trimmed 3%") {
+			t.Errorf("warn writer got %q", buf.String())
+		}
+	})
+	// Disabled Warnf is a no-op.
+	if !On() {
+		Warnf("should not record")
+		if len(Warnings()) != 0 {
+			t.Error("disabled Warnf recorded")
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer: the reporter goroutine writes
+// while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestReporterEmitsAndStops(t *testing.T) {
+	withObsOn(t, func() {
+		var buf syncBuffer
+		r := StartReporter(&buf, time.Millisecond, func() string { return "tick" })
+		if r == nil {
+			t.Fatal("reporter did not start")
+		}
+		time.Sleep(10 * time.Millisecond)
+		r.Stop()
+		r.Stop() // idempotent
+		out := buf.String()
+		if !strings.Contains(out, "obs: tick") {
+			t.Fatalf("reporter output %q", out)
+		}
+	})
+	// Disabled or zero-interval reporters are nil and Stop is nil-safe.
+	if r := StartReporter(os.Stderr, 0, nil); r != nil {
+		t.Fatal("zero-interval reporter started")
+	}
+	var r *Reporter
+	r.Stop()
+}

@@ -1,0 +1,81 @@
+// Package obs is the experiment pipeline's observability layer: a
+// process-wide metrics registry (atomic counters, gauges, fixed-bucket
+// histograms) exported via expvar and JSON snapshots, lightweight span
+// tracing with parent links and per-span attributes, a live progress
+// reporter, and a run-manifest writer.
+//
+// The package is zero-dependency (stdlib only) and allocation-conscious.
+// Every hook is nil-safe, and anything that costs real work — span
+// allocation, timestamps — is gated behind a single atomic load (On), so
+// instrumented hot paths are within measurement noise of uninstrumented
+// ones when observability is off (core.BenchmarkObsDisabled). Bare metric
+// updates are unconditional: an atomic add per trace or fold is cheaper
+// than the branch logic to avoid it.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// on gates the expensive observability paths (spans, timestamps, progress).
+var on atomic.Bool
+
+// Enable turns observability on process-wide.
+func Enable() { on.Store(true) }
+
+// Disable turns observability off. Already-registered metrics keep their
+// values; spans stop being recorded.
+func Disable() { on.Store(false) }
+
+// On reports whether observability is enabled. Instrumentation sites use
+// this to skip span allocation and clock reads; it is one atomic load.
+func On() bool { return on.Load() }
+
+// maxWarnings bounds the retained warning list so a pathological run
+// cannot grow it without limit.
+const maxWarnings = 256
+
+var (
+	warnMu   sync.Mutex
+	warnings []string
+	// WarnWriter receives warning lines as they happen (default stderr).
+	// Set to io.Discard to collect warnings silently. Guarded by the same
+	// lock as the warning list; set it before concurrent work starts.
+	WarnWriter io.Writer = os.Stderr
+)
+
+// Warnf records a pipeline warning (e.g. excessive dataset trimming) and
+// echoes it to WarnWriter. Warnings end up in the run manifest. No-op when
+// observability is off.
+func Warnf(format string, args ...any) {
+	if !On() {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	if len(warnings) < maxWarnings {
+		warnings = append(warnings, msg)
+	}
+	if WarnWriter != nil {
+		fmt.Fprintf(WarnWriter, "obs: warning: %s\n", msg)
+	}
+}
+
+// Warnings returns a copy of the warnings recorded so far.
+func Warnings() []string {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	return append([]string(nil), warnings...)
+}
+
+// ResetWarnings clears the warning list (tests and run boundaries).
+func ResetWarnings() {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	warnings = nil
+}

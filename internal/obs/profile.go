@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile bundles CPU and heap profile writing so a run's profiles land
+// next to its manifest and metrics (cmd/experiments -outdir).
+type Profile struct {
+	cpuFile  *os.File
+	heapPath string
+}
+
+// StartProfile begins CPU profiling to cpuPath (if non-empty) and arranges
+// for a heap profile at heapPath (if non-empty) when Stop is called.
+// Either path may be empty; with both empty the returned *Profile is nil,
+// which Stop handles.
+func StartProfile(cpuPath, heapPath string) (*Profile, error) {
+	if cpuPath == "" && heapPath == "" {
+		return nil, nil
+	}
+	p := &Profile{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop finishes CPU profiling and writes the heap profile (after a GC so
+// the heap reflects live objects). Nil-safe.
+func (p *Profile) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: write heap profile: %w", err)
+		}
+		p.heapPath = ""
+		return f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reporter periodically renders a progress line to a writer (normally
+// stderr). The render function is supplied by the subsystem that knows
+// which metrics matter (core.ProgressLine); with a nil render the
+// reporter prints every non-zero counter in the default registry.
+type Reporter struct {
+	w        io.Writer
+	interval time.Duration
+	render   func() string
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartReporter begins emitting one progress line every interval. It
+// returns nil (a no-op reporter) when the interval is non-positive or
+// observability is off.
+func StartReporter(w io.Writer, interval time.Duration, render func() string) *Reporter {
+	if interval <= 0 || !On() || w == nil {
+		return nil
+	}
+	if render == nil {
+		render = defaultRender
+	}
+	r := &Reporter{
+		w: w, interval: interval, render: render,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Fprintf(r.w, "obs: %s\n", r.render())
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the reporter after emitting one final line. Nil-safe and
+// idempotent.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+		fmt.Fprintf(r.w, "obs: %s\n", r.render())
+	})
+}
+
+// defaultRender prints all non-zero counters, sorted by name.
+func defaultRender() string {
+	snap := Default.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name, v := range snap.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, snap.Counters[name])
+	}
+	if b.Len() == 0 {
+		return "(no metrics yet)"
+	}
+	return b.String()
+}

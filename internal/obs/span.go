@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Values marshal into the manifest as-is, so
+// keep them to JSON-friendly types (numbers, strings, bools, slices).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// SpanRecord is a finished span as stored by the tracer and emitted into
+// run manifests.
+type SpanRecord struct {
+	ID         uint64         `json:"id"`
+	Parent     uint64         `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight timed operation. Spans are created by
+// Tracer.Start (or the package-level StartSpan), carry a parent link and
+// attributes, and are recorded when End is called. A nil *Span is the
+// disabled span: every method no-ops, so instrumented code never branches
+// on whether tracing is active. A span is owned by one goroutine; SetAttr
+// and End are not synchronized.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// ID returns the span's identifier (0 for the nil span), usable as an
+// explicit parent reference.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value attribute and returns the span for
+// chaining. Later writes to the same key win.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// End records the span into its tracer. Safe to call on the nil span;
+// repeated calls record once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: time.Since(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	s.tracer.record(rec)
+}
+
+// Tracer collects finished spans up to a fixed capacity. When the buffer
+// fills, the newest spans are dropped (and counted): the coarse pipeline
+// spans finish late in a run and parent links point backwards, so keeping
+// the earliest-finished spans preserves tree integrity under overflow.
+type Tracer struct {
+	nextID  atomic.Uint64
+	dropped atomic.Uint64
+
+	mu    sync.Mutex
+	spans []SpanRecord
+	cap   int
+}
+
+// DefaultTracer is the process-wide tracer the pipeline records into.
+var DefaultTracer = NewTracer(8192)
+
+// NewTracer returns a tracer retaining at most capacity finished spans.
+func NewTracer(capacity int) *Tracer {
+	return &Tracer{cap: capacity}
+}
+
+// Start begins a span under parent (nil parent = root). Returns nil — the
+// disabled span — when the tracer is nil or observability is off.
+func (t *Tracer) Start(parent *Span, name string) *Span {
+	if t == nil || !On() {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		parent: parent.ID(),
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// StartSpan begins a span on the default tracer.
+func StartSpan(parent *Span, name string) *Span {
+	return DefaultTracer.Start(parent, name)
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cap > 0 && len(t.spans) >= t.cap {
+		t.dropped.Add(1)
+		return
+	}
+	t.spans = append(t.spans, rec)
+}
+
+// Records returns a copy of the finished spans in record (end-time) order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Dropped reports how many spans were discarded due to the capacity bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Reset discards all recorded spans and the drop count (ID assignment
+// keeps running, so records before and after a reset never collide).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = nil
+	t.dropped.Store(0)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// withObsOn runs f with observability enabled, restoring the prior state.
+func withObsOn(t *testing.T, f func()) {
+	t.Helper()
+	prev := On()
+	Enable()
+	defer func() {
+		if !prev {
+			Disable()
+		}
+	}()
+	f()
+}
+
+// TestSpanParentChildOrdering checks the tree structure: children link to
+// their parent's ID, finish before it, and therefore appear earlier in
+// the record log; IDs are assigned in start order.
+func TestSpanParentChildOrdering(t *testing.T) {
+	withObsOn(t, func() {
+		tr := NewTracer(16)
+		root := tr.Start(nil, "root")
+		c1 := tr.Start(root, "child").SetAttr("i", 1)
+		c1.End()
+		c2 := tr.Start(root, "child").SetAttr("i", 2)
+		g := tr.Start(c2, "grandchild")
+		g.End()
+		c2.End()
+		root.End()
+
+		recs := tr.Records()
+		if len(recs) != 4 {
+			t.Fatalf("got %d records, want 4", len(recs))
+		}
+		// Record order is end order: c1, grandchild, c2, root.
+		wantNames := []string{"child", "grandchild", "child", "root"}
+		for i, w := range wantNames {
+			if recs[i].Name != w {
+				t.Fatalf("record order = %v, want %v", recs, wantNames)
+			}
+		}
+		rootRec := recs[3]
+		if rootRec.Parent != 0 {
+			t.Errorf("root parent = %d, want 0", rootRec.Parent)
+		}
+		if recs[0].Parent != rootRec.ID || recs[2].Parent != rootRec.ID {
+			t.Errorf("children do not link to root: %+v", recs)
+		}
+		if recs[1].Parent != recs[2].ID {
+			t.Errorf("grandchild links to %d, want %d", recs[1].Parent, recs[2].ID)
+		}
+		// IDs follow start order: root < c1 < c2 < g.
+		if !(rootRec.ID < recs[0].ID && recs[0].ID < recs[2].ID && recs[2].ID < recs[1].ID) {
+			t.Errorf("IDs not in start order: root=%d c1=%d c2=%d g=%d",
+				rootRec.ID, recs[0].ID, recs[2].ID, recs[1].ID)
+		}
+		// Children cannot outlive the parent: their end times (start +
+		// duration) are bounded by the parent's.
+		end := func(r SpanRecord) time.Time { return r.Start.Add(time.Duration(r.DurationNS)) }
+		for i := 0; i < 3; i++ {
+			if end(recs[i]).After(end(rootRec)) {
+				t.Errorf("child %q ends after root", recs[i].Name)
+			}
+		}
+		if recs[0].Attrs["i"] != 1 {
+			t.Errorf("attr lost: %+v", recs[0].Attrs)
+		}
+	})
+}
+
+// TestSpanDisabled: with observability off, Start returns the nil span
+// and every operation no-ops.
+func TestSpanDisabled(t *testing.T) {
+	if On() {
+		t.Skip("observability enabled by another test")
+	}
+	tr := NewTracer(4)
+	sp := tr.Start(nil, "x")
+	if sp != nil {
+		t.Fatal("Start returned a live span while disabled")
+	}
+	sp.SetAttr("k", "v").SetAttr("k2", 2)
+	sp.End()
+	child := tr.Start(sp, "child")
+	child.End()
+	if n := len(tr.Records()); n != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", n)
+	}
+}
+
+func TestSpanDoubleEndRecordsOnce(t *testing.T) {
+	withObsOn(t, func() {
+		tr := NewTracer(4)
+		sp := tr.Start(nil, "once")
+		sp.End()
+		sp.End()
+		if n := len(tr.Records()); n != 1 {
+			t.Fatalf("double End recorded %d spans, want 1", n)
+		}
+	})
+}
+
+func TestTracerCapacityDropsNewest(t *testing.T) {
+	withObsOn(t, func() {
+		tr := NewTracer(2)
+		for i := 0; i < 5; i++ {
+			tr.Start(nil, "s").End()
+		}
+		if n := len(tr.Records()); n != 2 {
+			t.Fatalf("retained %d spans, want 2", n)
+		}
+		if d := tr.Dropped(); d != 3 {
+			t.Fatalf("dropped = %d, want 3", d)
+		}
+		tr.Reset()
+		if len(tr.Records()) != 0 || tr.Dropped() != 0 {
+			t.Fatal("Reset did not clear tracer")
+		}
+	})
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(nil, "x")
+	if sp != nil {
+		t.Fatal("nil tracer returned live span")
+	}
+	_ = tr.Records()
+	_ = tr.Dropped()
+	tr.Reset()
+}

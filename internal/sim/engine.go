@@ -236,6 +236,12 @@ func (e *Engine) RunAll() Time {
 // Pending reports the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// Scheduled reports the number of events scheduled since creation (or the
+// last Reset), including ticker re-arms. Together with Processed it is the
+// engine's observability surface: callers read both after a simulation
+// completes, so the event hot path itself carries no instrumentation.
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
 // Ticker invokes fn every `period` starting at `start` until the engine
 // stops running or cancel is called. fn receives the tick time.
 type Ticker struct {

@@ -268,6 +268,60 @@ func TestStreamDurHelpers(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocFree is the engine's allocation guard: once the
+// heap and slot slab have grown to their working size, ticker re-arms and
+// one-shot schedule/fire cycles must not allocate at all. The PR 2
+// performance work depends on this invariant and the obs layer's
+// overhead contract assumes it (events are counted by reading
+// Scheduled/Processed after a run, never by per-event hooks), so a
+// regression fails the suite instead of silently showing up in
+// benchmarks.
+func TestSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	var ticks int
+	e.Tick(0, 10, func(Time) { ticks++ })
+	var fires int
+	var rearm func()
+	rearm = func() {
+		fires++
+		e.After(7, rearm)
+	}
+	e.Schedule(3, rearm)
+	horizon := Time(0)
+	step := func() {
+		horizon += 1000
+		e.Run(horizon)
+	}
+	step() // warm up: grow heap, slab, and free list to steady state
+	allocs := testing.AllocsPerRun(100, step)
+	if allocs != 0 {
+		t.Fatalf("steady-state engine allocated %.1f times per run, want 0", allocs)
+	}
+	if ticks == 0 || fires == 0 {
+		t.Fatal("guard workload did not run")
+	}
+	if e.Scheduled() == 0 || e.Processed == 0 {
+		t.Fatal("Scheduled/Processed counters did not advance")
+	}
+}
+
+func TestEngineScheduledCounter(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if got := e.Scheduled(); got != 2 {
+		t.Fatalf("Scheduled = %d, want 2", got)
+	}
+	e.RunAll()
+	if got := e.Processed; got != 2 {
+		t.Fatalf("Processed = %d, want 2", got)
+	}
+	e.Reset()
+	if e.Scheduled() != 0 || e.Processed != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
