@@ -3,7 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-smoke bench-obs smoke-obs ci clean
+.PHONY: all build vet test race bench bench-ml bench-infer bench-infer-smoke check-infer-equivalence bench-smoke bench-obs smoke-obs ci clean
+
+# Run directory for benchmark artifacts. Every bench target drops all of its
+# outputs — profiles and the machine-readable JSON from cmd/benchjson — into
+# this one directory, mirroring cmd/experiments' -outdir convention.
+# Override per run: `make bench OUTDIR=runs/2026-08-05`.
+OUTDIR ?= bench-out
+
+$(OUTDIR):
+	mkdir -p $(OUTDIR)
 
 all: build
 
@@ -23,12 +32,38 @@ race:
 	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs
 
 # Full benchmark sweep (slow: regenerates every table/figure at bench scale).
-bench:
-	$(GO) test -bench=. -benchmem .
+# CPU/heap profiles land next to the parsed BENCH.json in $(OUTDIR) instead
+# of littering the repo root.
+bench: | $(OUTDIR)
+	$(GO) test -run xxx -bench . -benchmem \
+		-cpuprofile $(OUTDIR)/cpu.prof -memprofile $(OUTDIR)/mem.prof . \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH.json
 
-# Just the ML-engine benchmarks: training throughput and GEMM kernels.
-bench-ml:
-	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkGEMM|BenchmarkAblationClassifiers' -benchmem .
+# Just the ML-engine benchmarks: training throughput, inference, and the
+# f64/f32 GEMM kernels. BENCH_ml.json is the machine-readable trajectory
+# future changes diff against (the committed copy at the repo root is the
+# current baseline).
+bench-ml: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkGEMM|BenchmarkPredictBatch|BenchmarkGemm32Kernel|BenchmarkAblationClassifiers' -benchmem . ./internal/ml \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_ml.json
+
+# Inference fast path only: compiled-vs-reference PredictBatch plus the f32
+# kernel behind it.
+bench-infer: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkPredictBatch|BenchmarkGemm32Kernel' -benchmem . ./internal/ml \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_infer.json
+
+# One-iteration pass over the inference benchmarks: catches bit-rot in the
+# compiled path's benchmark plumbing without paying for stable timings.
+bench-infer-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkPredictBatch|BenchmarkGemm32Kernel' -benchtime 1x . ./internal/ml
+
+# The compiled inference path must agree (argmax per trace) with the float64
+# reference on every golden scenario. Run narrowly with -v and grep for the
+# PASS line: a skipped test prints no PASS, so silent skips fail ci too.
+check-infer-equivalence:
+	$(GO) test -run 'TestCompiledReferenceEquivalence' -v ./internal/core \
+		| grep -- '--- PASS: TestCompiledReferenceEquivalence'
 
 # One-iteration pass over the simulation-side benchmarks: catches bit-rot in
 # benchmark code without paying for stable timings.
@@ -48,9 +83,9 @@ smoke-obs:
 	grep -q '"scenario": "bgnoise/quiet"' smoke-obs-out/run.json
 	rm -rf smoke-obs-out
 
-ci: build vet test race bench-smoke smoke-obs
+ci: build vet test race bench-smoke bench-infer-smoke check-infer-equivalence smoke-obs
 
 clean:
 	$(GO) clean
 	rm -f cpu.prof mem.prof
-	rm -rf smoke-obs-out
+	rm -rf smoke-obs-out bench-out

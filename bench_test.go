@@ -355,6 +355,55 @@ func BenchmarkTrainPaperNet(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictBatch measures inference throughput on the paper CNN:
+// the float64 reference forward pass (sample-parallel) against the frozen
+// float32 CompiledModel (fused kernels, intra-op parallel GEMM). SetBytes
+// counts raw trace bytes scored, so the MB/s column is end-to-end scoring
+// bandwidth; the samples/sec metric is the headline number in
+// EXPERIMENTS.md. The compiled leg must report 0 allocs/op.
+func BenchmarkPredictBatch(b *testing.B) {
+	const classes, length, batch = 5, 300, 64
+	X, y := benchTrainData(batch, length, classes)
+	model, err := ml.PaperNet(7, length, classes, 16, 16, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = model.Fit(X, y, nil, nil, ml.FitConfig{
+		Epochs: 2, BatchSize: 16, LR: 0.003, Seed: 11, Parallelism: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bytesPerOp := int64(batch * length * 8)
+	rate := func(b *testing.B) float64 {
+		return float64(batch) * float64(b.N) / b.Elapsed().Seconds()
+	}
+	b.Run("reference", func(b *testing.B) {
+		b.SetBytes(bytesPerOp)
+		for i := 0; i < b.N; i++ {
+			model.PredictBatch(X, 0)
+		}
+		b.ReportMetric(rate(b), "samples/sec")
+	})
+	b.Run("compiled", func(b *testing.B) {
+		cm, err := ml.Compile(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([][]float64, batch)
+		for i := range out {
+			out[i] = make([]float64, classes)
+		}
+		cm.PredictBatchInto(X, 0, out) // warm the scratch arena
+		b.ResetTimer()
+		b.SetBytes(bytesPerOp)
+		for i := 0; i < b.N; i++ {
+			cm.PredictBatchInto(X, 0, out)
+		}
+		b.ReportMetric(rate(b), "samples/sec")
+	})
+}
+
 // BenchmarkGEMM measures the matmul kernels behind Conv1D and the
 // recurrent layers at sizes spanning the cache-block boundaries.
 func BenchmarkGEMM(b *testing.B) {
@@ -369,12 +418,15 @@ func BenchmarkGEMM(b *testing.B) {
 		}
 		flops := 2 * float64(n) * float64(n) * float64(n)
 		b.Run(fmt.Sprintf("NN-%d", n), func(b *testing.B) {
+			// 1 byte per FLOP, so the MB/s column doubles as MFLOP/s.
+			b.SetBytes(int64(flops))
 			for i := 0; i < b.N; i++ {
 				ml.GemmNN(n, n, n, a, n, bb, n, c, n, false)
 			}
 			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
 		})
 		b.Run(fmt.Sprintf("NT-%d", n), func(b *testing.B) {
+			b.SetBytes(int64(flops))
 			for i := 0; i < b.N; i++ {
 				ml.GemmNT(n, n, n, a, n, bb, n, c, n, false)
 			}

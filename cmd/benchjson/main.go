@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report. It reads benchmark output on stdin and writes a JSON array of
+// result objects, so Makefile targets can commit machine-readable numbers
+// (BENCH_ml.json) next to the human-readable log:
+//
+//	go test -bench BenchmarkGEMM -benchmem . | benchjson -tee -o BENCH_ml.json
+//
+// Standard columns (ns/op, MB/s, B/op, allocs/op) become fixed fields;
+// anything else reported via b.ReportMetric (GFLOPS, traces/sec, ...)
+// lands in the metrics map. Non-benchmark lines pass through untouched
+// with -tee, so the filter can sit inside an existing pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the top-level JSON document. Pkg is set when every benchmark
+// came from one package; multi-package runs (e.g. `go test -bench X pkg1
+// pkg2`) leave it empty and each result carries its own pkg instead.
+type report struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// parseBenchLine parses one "BenchmarkX-8  100  123 ns/op  ..." line.
+// ok is false for anything that is not a benchmark result.
+func parseBenchLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	// Minimum shape: name, iterations, value, unit.
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			seen = true
+		case "MB/s":
+			r.MBPerSec = val
+		case "B/op":
+			b := int64(val)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(val)
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	if !seen {
+		return result{}, false
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	tee := flag.Bool("tee", false, "echo all input lines to stdout unchanged")
+	flag.Parse()
+
+	rep := report{Benchmarks: []result{}}
+	curPkg := ""
+	pkgs := map[string]bool{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if *tee {
+			fmt.Println(line)
+		}
+		if r, ok := parseBenchLine(line); ok {
+			r.Pkg = curPkg
+			if curPkg != "" {
+				pkgs[curPkg] = true
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			continue
+		}
+		// Header lines carry the run's provenance.
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			curPkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+	}
+	if len(pkgs) == 1 {
+		// Single-package run: hoist the pkg to the report header.
+		rep.Pkg = curPkg
+		for i := range rep.Benchmarks {
+			rep.Benchmarks[i].Pkg = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

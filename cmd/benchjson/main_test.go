@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine(
+		"BenchmarkGEMM/NN-256-8   	      92	  12882219 ns/op	2604.51 MB/s	       2.605 GFLOPS	     236 B/op	       3 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkGEMM/NN-256-8" || r.Iterations != 92 {
+		t.Fatalf("name/iters: %+v", r)
+	}
+	if r.NsPerOp != 12882219 || r.MBPerSec != 2604.51 {
+		t.Fatalf("ns/MBs: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 236 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Fatalf("mem columns: %+v", r)
+	}
+	if r.Metrics["GFLOPS"] != 2.605 {
+		t.Fatalf("custom metric: %+v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	repro	1.2s",
+		"BenchmarkBad only three",
+		"BenchmarkNoNs 10 5 MB/s", // no ns/op column
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line %q wrongly accepted", line)
+		}
+	}
+}

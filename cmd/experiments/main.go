@@ -49,6 +49,8 @@ func run() int {
 	cells := flag.Int("cells", 0, "max experiment cells in flight (0 = unbounded; compute stays CPU-bounded)")
 	dsCacheCap := flag.Int("dscache", 8, "datasets retained by the in-process collection cache (0 disables)")
 	clf := flag.String("clf", "", "classifier for all experiments: centroid (default), knn, logreg, cnn")
+	infer := flag.String("infer", "compiled", "inference engine for trained models: compiled (frozen f32 fast path) or reference (f64 training graph)")
+	inferPar := flag.Int("inferpar", 0, "intra-op workers for compiled inference GEMMs (0 = GOMAXPROCS); output is identical for every value")
 	obsOn := flag.Bool("obs", false, "enable the observability layer (metrics + span tracing)")
 	progress := flag.Duration("progress", 0, "live progress-line interval on stderr (implies -obs)")
 	manifestPath := flag.String("manifest", "", "write a run-manifest JSON to this file (implies -obs)")
@@ -65,6 +67,11 @@ func run() int {
 		return 2
 	}
 	core.SetDefaultClassifier(mk)
+
+	if err := core.ConfigureInference(*infer, *inferPar); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	if *progress > 0 || *manifestPath != "" || *httpAddr != "" {
 		*obsOn = true
@@ -153,6 +160,8 @@ func run() int {
 		if *clf == "" {
 			m.Config["classifier"] = "centroid"
 		}
+		m.Config["infer"] = *infer
+		m.Config["inferpar"] = fmt.Sprint(*inferPar)
 		m.Config["cells"] = fmt.Sprint(*cells)
 		m.Config["dscache"] = fmt.Sprint(*dsCacheCap)
 		if runErr != nil {

@@ -59,6 +59,25 @@ func ClassifierByName(name string) (ClassifierMaker, error) {
 	return nil, fmt.Errorf("core: unknown classifier %q (want centroid, knn, logreg, or cnn)", name)
 }
 
+// ConfigureInference selects the inference engine for gradient-trained
+// classifiers and its intra-op worker count, mirroring cmd/experiments'
+// -infer/-inferpar flags. mode "" or "compiled" uses the frozen float32
+// fast path (argmax-equivalent to the reference — see DESIGN.md);
+// "reference" forces the float64 training-graph forward pass. par ≤ 0 means
+// GOMAXPROCS. Not safe to call concurrently with running experiments.
+func ConfigureInference(mode string, par int) error {
+	switch mode {
+	case "", "compiled":
+		ml.SetInferCompiled(true)
+	case "reference":
+		ml.SetInferCompiled(false)
+	default:
+		return fmt.Errorf("core: unknown inference mode %q (want compiled or reference)", mode)
+	}
+	ml.SetInferParallelism(par)
+	return nil
+}
+
 // Result summarizes one experiment's cross-validated accuracy.
 type Result struct {
 	Scenario string

@@ -196,6 +196,7 @@ type LogReg struct {
 	Parallelism int
 
 	model *Sequential
+	cc    compiledCache
 	inLen int
 }
 
@@ -218,6 +219,7 @@ func (lr *LogReg) Fit(train *trace.Dataset) error {
 		y = append(y, t.Label)
 	}
 	lr.inLen = X[0].Rows
+	lr.cc = compiledCache{}
 	rng := newSeedStream(lr.Seed, "logreg")
 	lr.model = &Sequential{Layers: []Layer{NewDense(rng, lr.inLen, train.NumClasses)}}
 	return lr.model.Fit(X, y, nil, nil, FitConfig{
@@ -240,9 +242,10 @@ func (lr *LogReg) Scores(values []float64) []float64 {
 	return lr.model.Predict(x)
 }
 
-// ScoresBatch scores traces concurrently (see BatchScorer).
+// ScoresBatch scores traces through the compiled fast path when enabled
+// (see BatchScorer and SetInferCompiled).
 func (lr *LogReg) ScoresBatch(values [][]float64) [][]float64 {
-	return predictPrepped(lr.model, lr.Prep, lr.inLen, values, lr.Parallelism)
+	return predictPrepped(lr.model, &lr.cc, lr.Prep, lr.inLen, values, lr.Parallelism)
 }
 
 // CNNLSTM wraps PaperNet as a Classifier: the paper's architecture at a
@@ -262,6 +265,7 @@ type CNNLSTM struct {
 	Parallelism int
 
 	model *Sequential
+	cc    compiledCache
 	inLen int
 }
 
@@ -296,6 +300,7 @@ func (c *CNNLSTM) Fit(train *trace.Dataset) error {
 		y = append(y, t.Label)
 	}
 	c.inLen = X[0].Rows
+	c.cc = compiledCache{}
 	model, err := PaperNet(c.Seed, c.inLen, train.NumClasses, c.Filters, c.Hidden, c.Dropout)
 	if err != nil {
 		return err
@@ -337,14 +342,19 @@ func (c *CNNLSTM) Scores(values []float64) []float64 {
 	return c.model.Predict(FromSeries(v))
 }
 
-// ScoresBatch scores traces concurrently (see BatchScorer).
+// ScoresBatch scores traces through the compiled fast path when enabled
+// (see BatchScorer and SetInferCompiled).
 func (c *CNNLSTM) ScoresBatch(values [][]float64) [][]float64 {
-	return predictPrepped(c.model, c.Prep, c.inLen, values, c.Parallelism)
+	return predictPrepped(c.model, &c.cc, c.Prep, c.inLen, values, c.Parallelism)
 }
 
 // predictPrepped preprocesses every trace (padding/trimming to the trained
-// input length) and scores them with PredictBatch.
-func predictPrepped(model *Sequential, prep Preprocessor, inLen int, values [][]float64, par int) [][]float64 {
+// input length) and scores them: through the frozen CompiledModel when
+// compiled inference is on and the model compiles (cached per fit via cc),
+// otherwise through the float64 reference PredictBatch. par is the
+// reference path's sample-parallel worker count; the compiled path uses
+// the intra-op worker count from SetInferParallelism.
+func predictPrepped(model *Sequential, cc *compiledCache, prep Preprocessor, inLen int, values [][]float64, par int) [][]float64 {
 	X := make([]*Tensor, len(values))
 	for i, raw := range values {
 		v := prep.Apply(raw)
@@ -354,6 +364,11 @@ func predictPrepped(model *Sequential, prep Preprocessor, inLen int, values [][]
 			v = d
 		}
 		X[i] = FromSeries(v)
+	}
+	if inferCompiledOn && cc != nil {
+		if cm := cc.get(model); cm != nil {
+			return cm.PredictBatch(X, inferPar)
+		}
 	}
 	return model.PredictBatch(X, par)
 }

@@ -1,0 +1,357 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Float32 inference kernels backing CompiledModel. Layout conventions match
+// the float64 kernels in gemm.go: row-major matrices with explicit row
+// strides, strides allowed to be smaller than the row length so Conv1D's
+// overlapping im2col windows need no copy.
+//
+// Determinism contract: gemmNT32 partitions C's columns into fixed-width
+// panels (gemm32PanelN) whose boundaries depend only on n — never on the
+// worker count — and every C element is computed by exactly one worker as a
+// single fixed-order k-sum. Serial execution walks the same panels with the
+// same kernels, so output is bit-identical for every worker count,
+// mirroring the guarantee Fit makes for training.
+//
+// On amd64 with AVX2+FMA the 2×4 inner tile is an assembly micro-kernel
+// (gemm32_amd64.s); everywhere else a pure-Go tile runs. Kernel selection
+// is a process-wide constant (set once at init), so it cannot differ
+// between the serial and parallel paths of one process.
+
+// gemm32PanelN is the fixed column-panel width of the parallel partition.
+const gemm32PanelN = 64
+
+// useFMA reports whether the AVX2+FMA assembly tile is active; set at init
+// by gemm32_amd64.go on capable hardware, false elsewhere.
+var useFMA = false
+
+// growF32 returns a length-n float32 slice reusing s's storage when
+// possible. Contents are unspecified.
+func growF32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+// dot32 returns the inner product of x and y over len(x) elements with a
+// fixed 4-lane summation order.
+func dot32(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// gemv32 computes y += A·x for row-major A (m×n, stride lda), x (n), y (m).
+func gemv32(m, n int, a []float32, lda int, x, y []float32) {
+	for i := 0; i < m; i++ {
+		y[i] += dot32(a[i*lda:i*lda+n], x)
+	}
+}
+
+// dot2x4Tail accumulates the scalar portion [p0, k) of a 2×4 tile into
+// sums: rows a0/a1 against columns b0..b3. The lane order matches the
+// contract the assembly kernel leaves off at, so asm-head + scalar-tail is
+// one fixed summation order.
+func dot2x4Tail(p0 int, a0, a1, b0, b1, b2, b3 []float32, sums *[8]float32) {
+	if len(a1) != len(a0) || len(b0) != len(a0) || len(b1) != len(a0) ||
+		len(b2) != len(a0) || len(b3) != len(a0) {
+		panic("ml: dot2x4Tail slice length mismatch")
+	}
+	for p := p0; p < len(a0); p++ {
+		av0, av1 := a0[p], a1[p]
+		bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+		sums[0] += av0 * bv0
+		sums[1] += av0 * bv1
+		sums[2] += av0 * bv2
+		sums[3] += av0 * bv3
+		sums[4] += av1 * bv0
+		sums[5] += av1 * bv1
+		sums[6] += av1 * bv2
+		sums[7] += av1 * bv3
+	}
+}
+
+// panelNT32 computes C[0:m, j0:j1] of C = A·Bᵀ + bias (optionally ReLU'd)
+// for row-major A (m×k, stride lda), B (n×k, stride ldb), C (stride ldc).
+// bias is indexed by column (nil = zero). One call is the unit of parallel
+// work; its summation order is fixed.
+//
+// pool > 0 fuses a MaxPool1D epilogue: instead of storing row i of the
+// product, the value is max-merged into pool row min(i/pool, poolT-1) of C
+// (poolT = max(1, m/pool), the MaxPool1D window rule), so the pooled
+// activation never materializes. Callers must pre-fill the pooled C with
+// -Inf. f32 max is order-independent, so fusion preserves the bit-identical
+// determinism contract, and columns still have a single writer per panel.
+func panelNT32(m, k int, a []float32, lda int, b []float32, ldb int,
+	bias []float32, c []float32, ldc int, j0, j1 int, relu bool, pool int) {
+	k8 := k &^ 7
+	fma := useFMA && k8 >= 8
+	poolT := 0
+	if pool > 0 {
+		poolT = m / pool
+		if poolT == 0 {
+			poolT = 1
+		}
+	}
+	// cRow maps a product row to its destination row (identity without
+	// pooling; the absorbing window rule with it).
+	cRow := func(i int) []float32 {
+		if pool > 0 {
+			if r := i / pool; r < poolT {
+				i = r
+			} else {
+				i = poolT - 1
+			}
+		}
+		return c[i*ldc : i*ldc+j1]
+	}
+	var sums [8]float32
+	i := 0
+	for ; i+1 < m; i += 2 {
+		a0 := a[i*lda : i*lda+k]
+		a1 := a[(i+1)*lda : (i+1)*lda+k]
+		c0 := cRow(i)
+		c1 := cRow(i + 1)
+		j := j0
+		for ; j+3 < j1; j += 4 {
+			b0 := b[j*ldb : j*ldb+k]
+			b1 := b[(j+1)*ldb : (j+1)*ldb+k]
+			b2 := b[(j+2)*ldb : (j+2)*ldb+k]
+			b3 := b[(j+3)*ldb : (j+3)*ldb+k]
+			p0 := 0
+			if fma {
+				dot4x2FMA(k8, &a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], &sums)
+				p0 = k8
+			} else {
+				sums = [8]float32{}
+			}
+			dot2x4Tail(p0, a0, a1, b0, b1, b2, b3, &sums)
+			if bias != nil {
+				bj0, bj1, bj2, bj3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+				sums[0] += bj0
+				sums[1] += bj1
+				sums[2] += bj2
+				sums[3] += bj3
+				sums[4] += bj0
+				sums[5] += bj1
+				sums[6] += bj2
+				sums[7] += bj3
+			}
+			if relu {
+				for l := range sums {
+					if sums[l] < 0 {
+						sums[l] = 0
+					}
+				}
+			}
+			if pool > 0 {
+				maxStore4(c0, j, sums[0], sums[1], sums[2], sums[3])
+				maxStore4(c1, j, sums[4], sums[5], sums[6], sums[7])
+			} else {
+				c0[j], c0[j+1], c0[j+2], c0[j+3] = sums[0], sums[1], sums[2], sums[3]
+				c1[j], c1[j+1], c1[j+2], c1[j+3] = sums[4], sums[5], sums[6], sums[7]
+			}
+		}
+		for ; j < j1; j++ {
+			brow := b[j*ldb : j*ldb+k]
+			v0 := dot32(a0, brow)
+			v1 := dot32(a1, brow)
+			if bias != nil {
+				v0 += bias[j]
+				v1 += bias[j]
+			}
+			if relu {
+				if v0 < 0 {
+					v0 = 0
+				}
+				if v1 < 0 {
+					v1 = 0
+				}
+			}
+			if pool > 0 {
+				maxStore1(c0, j, v0)
+				maxStore1(c1, j, v1)
+			} else {
+				c0[j], c1[j] = v0, v1
+			}
+		}
+	}
+	if i < m {
+		arow := a[i*lda : i*lda+k]
+		crow := cRow(i)
+		for j := j0; j < j1; j++ {
+			v := dot32(arow, b[j*ldb:j*ldb+k])
+			if bias != nil {
+				v += bias[j]
+			}
+			if relu && v < 0 {
+				v = 0
+			}
+			if pool > 0 {
+				maxStore1(crow, j, v)
+			} else {
+				crow[j] = v
+			}
+		}
+	}
+}
+
+// maskTab[jn] has the first jn lanes set, selecting the live columns of a
+// partial 32-wide block for axpyMerge32FMA's masked loads and stores.
+var maskTab = func() (t [33][32]int32) {
+	for jn := 1; jn <= 32; jn++ {
+		for j := 0; j < jn; j++ {
+			t[jn][j] = -1
+		}
+	}
+	return
+}()
+
+// axpyMerge32 computes v[j] = bias[j] + Σ_p a[p]·wt[p*32+j] for one product
+// row against a packed 32-wide channel block (see convStage), then stores
+// out[j] = max(out[j], max(v[j], floor)) for the first jn columns. floor = 0
+// fuses ReLU; floor = -Inf leaves v unclamped; and because callers pre-fill
+// out with -Inf, the max-merge is a plain store for unpooled convs and the
+// MaxPool epilogue for pooled ones. Per-column summation order is
+// k-ascending in both variants, so the result is independent of any row
+// partitioning by construction. bias must have 32 elements and wt k*32;
+// out needs only jn.
+func axpyMerge32(k, jn int, a, wt, bias, out []float32, floor float32) {
+	if useFMA && k > 0 && jn > 0 {
+		axpyMerge32FMA(k, &a[0], &wt[0], &bias[0], &out[0], &maskTab[jn][0], floor)
+		return
+	}
+	var acc [32]float32
+	copy(acc[:], bias[:32])
+	for p := 0; p < k; p++ {
+		ap := a[p]
+		w := wt[p*32 : p*32+32]
+		for j := range w {
+			acc[j] += ap * w[j]
+		}
+	}
+	o := out[:jn]
+	for j := range o {
+		v := acc[j]
+		if v < floor {
+			v = floor
+		}
+		if v > o[j] {
+			o[j] = v
+		}
+	}
+}
+
+// maxStore1 merges v into row[j] keeping the maximum.
+func maxStore1(row []float32, j int, v float32) {
+	if v > row[j] {
+		row[j] = v
+	}
+}
+
+// maxStore4 merges four adjacent columns starting at j.
+func maxStore4(row []float32, j int, v0, v1, v2, v3 float32) {
+	r := row[j : j+4 : j+4]
+	if v0 > r[0] {
+		r[0] = v0
+	}
+	if v1 > r[1] {
+		r[1] = v1
+	}
+	if v2 > r[2] {
+		r[2] = v2
+	}
+	if v3 > r[3] {
+		r[3] = v3
+	}
+}
+
+// gemm32Task is one column panel dispatched to the panel-worker pool.
+type gemm32Task struct {
+	m, k   int
+	a      []float32
+	lda    int
+	b      []float32
+	ldb    int
+	bias   []float32
+	c      []float32
+	ldc    int
+	j0, j1 int
+	relu   bool
+	pool   int
+	wg     *sync.WaitGroup
+}
+
+// gemm32Pool is the process-wide panel-worker pool, started lazily on the
+// first parallel gemmNT32 call. Workers are pure compute (they never submit
+// tasks), so the pool cannot deadlock, and plain struct sends on a buffered
+// channel keep the steady-state dispatch allocation-free.
+var gemm32Pool struct {
+	once sync.Once
+	ch   chan gemm32Task
+}
+
+func gemm32PoolStart() {
+	gemm32Pool.ch = make(chan gemm32Task, 256)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		go func() {
+			for t := range gemm32Pool.ch {
+				panelNT32(t.m, t.k, t.a, t.lda, t.b, t.ldb, t.bias, t.c, t.ldc, t.j0, t.j1, t.relu, t.pool)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// gemmNT32 computes C = A·Bᵀ + bias (per-column bias, nil = zero),
+// optionally fused with ReLU, for row-major A (m×k, stride lda), B (n×k,
+// stride ldb), C (m×n, stride ldc). workers ≤ 1 (or a nil wg, or a matrix
+// too narrow to split) runs serially on the caller; otherwise fixed
+// gemm32PanelN-wide column panels are fanned out to the shared worker pool
+// and joined on wg, which the caller owns and reuses across calls. Results
+// are bit-identical for every workers value.
+func gemmNT32(m, n, k int, a []float32, lda int, b []float32, ldb int,
+	bias []float32, c []float32, ldc int, relu bool, workers int, wg *sync.WaitGroup) {
+	gemmNT32Pool(m, n, k, a, lda, b, ldb, bias, c, ldc, relu, 0, workers, wg)
+}
+
+// gemmNT32Pool is gemmNT32 with a fused MaxPool1D epilogue of the given
+// window (0 = plain store; see panelNT32 for the pooled-C contract).
+func gemmNT32Pool(m, n, k int, a []float32, lda int, b []float32, ldb int,
+	bias []float32, c []float32, ldc int, relu bool, pool, workers int, wg *sync.WaitGroup) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if workers <= 1 || wg == nil || n <= gemm32PanelN || m*n*k < 1<<14 {
+		panelNT32(m, k, a, lda, b, ldb, bias, c, ldc, 0, n, relu, pool)
+		return
+	}
+	gemm32Pool.once.Do(gemm32PoolStart)
+	panels := (n + gemm32PanelN - 1) / gemm32PanelN
+	wg.Add(panels)
+	for p := 0; p < panels; p++ {
+		j0 := p * gemm32PanelN
+		j1 := j0 + gemm32PanelN
+		if j1 > n {
+			j1 = n
+		}
+		gemm32Pool.ch <- gemm32Task{m: m, k: k, a: a, lda: lda, b: b, ldb: ldb,
+			bias: bias, c: c, ldc: ldc, j0: j0, j1: j1, relu: relu, pool: pool, wg: wg}
+	}
+	wg.Wait()
+}

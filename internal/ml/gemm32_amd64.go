@@ -1,0 +1,31 @@
+//go:build amd64
+
+package ml
+
+// hasAVX2FMA reports CPU + OS support for the AVX2/FMA inference tile:
+// CPUID leaf 1 must advertise FMA, OSXSAVE, and AVX; XCR0 must show the OS
+// saves XMM+YMM state; CPUID leaf 7 must advertise AVX2.
+func hasAVX2FMA() bool
+
+// dot4x2FMA accumulates the first k8 elements (k8 a positive multiple of 8)
+// of a 2×4 inner-product tile: sums[0..3] = Σ a0[p]·b{0..3}[p] and
+// sums[4..7] = Σ a1[p]·b{0..3}[p]. Each lane sums eight interleaved
+// partials then reduces horizontally — a fixed order, so results are
+// reproducible across calls and worker counts (though not bitwise equal to
+// the scalar tile's order; the whole process uses exactly one of the two).
+//
+//go:noescape
+func dot4x2FMA(k8 int, a0, a1, b0, b1, b2, b3 *float32, sums *[8]float32)
+
+// axpyMerge32FMA is the fully fused conv unit: acc = bias + Σ_p a[p]·wt
+// broadcast-FMA'd over a 32-wide channel block with no horizontal
+// reduction, clamped to floor, then max-merged into out with
+// VMASKMOVPS-masked loads/stores so only the mask's live lanes of out are
+// touched. a must have k readable elements, wt k*32, bias 32. Per-column
+// summation order is k-ascending — independent of any partitioning, so the
+// conv fast path is deterministic at every worker count by construction.
+//
+//go:noescape
+func axpyMerge32FMA(k int, a, wt, bias, out *float32, mask *int32, floor float32)
+
+func init() { useFMA = hasAVX2FMA() }

@@ -1,0 +1,178 @@
+#include "textflag.h"
+
+// func hasAVX2FMA() bool
+TEXT ·hasAVX2FMA(SB), NOSPLIT, $0-1
+	// CPUID leaf 1: ECX bit 12 = FMA, bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<12 | 1<<27 | 1<<28), DX
+	CMPL DX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+	// XGETBV: XCR0 bits 1 and 2 = OS saves XMM+YMM state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID leaf 7, subleaf 0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dot4x2FMA(k8 int, a0, a1, b0, b1, b2, b3 *float32, sums *[8]float32)
+//
+// Eight ymm accumulators (2 A rows × 4 B rows), eight lanes each; the main
+// loop retires 8 FMAs per 6 loads, and the epilogue reduces each
+// accumulator horizontally into its sums lane. k8 must be a multiple of 8.
+TEXT ·dot4x2FMA(SB), NOSPLIT, $0-64
+	MOVQ k8+0(FP), CX
+	MOVQ a0+8(FP), SI
+	MOVQ a1+16(FP), DI
+	MOVQ b0+24(FP), R8
+	MOVQ b1+32(FP), R9
+	MOVQ b2+40(FP), R10
+	MOVQ b3+48(FP), R11
+	MOVQ sums+56(FP), DX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	SHRQ $3, CX
+	JZ   reduce
+loop:
+	VMOVUPS (SI), Y8
+	VMOVUPS (DI), Y9
+	VMOVUPS (R8), Y10
+	VFMADD231PS Y10, Y8, Y0
+	VFMADD231PS Y10, Y9, Y4
+	VMOVUPS (R9), Y11
+	VFMADD231PS Y11, Y8, Y1
+	VFMADD231PS Y11, Y9, Y5
+	VMOVUPS (R10), Y12
+	VFMADD231PS Y12, Y8, Y2
+	VFMADD231PS Y12, Y9, Y6
+	VMOVUPS (R11), Y13
+	VFMADD231PS Y13, Y8, Y3
+	VFMADD231PS Y13, Y9, Y7
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ CX
+	JNZ  loop
+reduce:
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS  X8, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS  X0, 0(DX)
+	VEXTRACTF128 $1, Y1, X8
+	VADDPS  X8, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VMOVSS  X1, 4(DX)
+	VEXTRACTF128 $1, Y2, X8
+	VADDPS  X8, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VMOVSS  X2, 8(DX)
+	VEXTRACTF128 $1, Y3, X8
+	VADDPS  X8, X3, X3
+	VHADDPS X3, X3, X3
+	VHADDPS X3, X3, X3
+	VMOVSS  X3, 12(DX)
+	VEXTRACTF128 $1, Y4, X8
+	VADDPS  X8, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+	VMOVSS  X4, 16(DX)
+	VEXTRACTF128 $1, Y5, X8
+	VADDPS  X8, X5, X5
+	VHADDPS X5, X5, X5
+	VHADDPS X5, X5, X5
+	VMOVSS  X5, 20(DX)
+	VEXTRACTF128 $1, Y6, X8
+	VADDPS  X8, X6, X6
+	VHADDPS X6, X6, X6
+	VHADDPS X6, X6, X6
+	VMOVSS  X6, 24(DX)
+	VEXTRACTF128 $1, Y7, X8
+	VADDPS  X8, X7, X7
+	VHADDPS X7, X7, X7
+	VHADDPS X7, X7, X7
+	VMOVSS  X7, 28(DX)
+	VZEROUPPER
+	RET
+
+// func axpyMerge32FMA(k int, a, wt, bias, out *float32, mask *int32, floor float32)
+//
+// The whole conv fast-path unit for one (row, block) pair: accumulators
+// start at the padded bias, a broadcast-FMA loop (one input element
+// against 32 channel weights per step, no horizontal reduction) runs over
+// the k window elements, then the epilogue clamps to floor (0 fuses ReLU,
+// -Inf is a no-op) and max-merges into out — which doubles as the MaxPool
+// epilogue because out is pre-filled with -Inf. Loads and stores of out go
+// through VMASKMOVPS so partial blocks (jn < 32 live lanes) neither read
+// nor write past the destination row; masked-off lanes are fault-suppressed.
+TEXT ·axpyMerge32FMA(SB), NOSPLIT, $0-52
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ wt+16(FP), DI
+	MOVQ bias+24(FP), R8
+	MOVQ out+32(FP), DX
+	MOVQ mask+40(FP), R9
+	VMOVUPS 0(R8), Y0
+	VMOVUPS 32(R8), Y1
+	VMOVUPS 64(R8), Y2
+	VMOVUPS 96(R8), Y3
+	TESTQ CX, CX
+	JZ    ammerge
+amloop:
+	VBROADCASTSS (SI), Y8
+	VFMADD231PS 0(DI), Y8, Y0
+	VFMADD231PS 32(DI), Y8, Y1
+	VFMADD231PS 64(DI), Y8, Y2
+	VFMADD231PS 96(DI), Y8, Y3
+	ADDQ $4, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  amloop
+ammerge:
+	VBROADCASTSS floor+48(FP), Y13
+	VMAXPS Y13, Y0, Y0
+	VMAXPS Y13, Y1, Y1
+	VMAXPS Y13, Y2, Y2
+	VMAXPS Y13, Y3, Y3
+	VMOVUPS 0(R9), Y4
+	VMOVUPS 32(R9), Y5
+	VMOVUPS 64(R9), Y6
+	VMOVUPS 96(R9), Y7
+	VMASKMOVPS 0(DX), Y4, Y9
+	VMASKMOVPS 32(DX), Y5, Y10
+	VMASKMOVPS 64(DX), Y6, Y11
+	VMASKMOVPS 96(DX), Y7, Y12
+	VMAXPS Y9, Y0, Y0
+	VMAXPS Y10, Y1, Y1
+	VMAXPS Y11, Y2, Y2
+	VMAXPS Y12, Y3, Y3
+	VMASKMOVPS Y0, Y4, 0(DX)
+	VMASKMOVPS Y1, Y5, 32(DX)
+	VMASKMOVPS Y2, Y6, 64(DX)
+	VMASKMOVPS Y3, Y7, 96(DX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package ml
+
+// dot4x2FMA satisfies the reference in panelNT32 on non-amd64 builds; it is
+// unreachable because useFMA stays false there.
+func dot4x2FMA(k8 int, a0, a1, b0, b1, b2, b3 *float32, sums *[8]float32) {
+	panic("ml: dot4x2FMA called without FMA support")
+}
+
+// axpyMerge32FMA satisfies the reference in axpyMerge32 on non-amd64
+// builds; it is unreachable because useFMA stays false there.
+func axpyMerge32FMA(k int, a, wt, bias, out *float32, mask *int32, floor float32) {
+	panic("ml: axpyMerge32FMA called without FMA support")
+}

@@ -1,0 +1,299 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// naiveNT32 is the float64-accumulated reference for C = A·Bᵀ + bias.
+func naiveNT32(m, n, k int, a []float32, lda int, b []float32, ldb int,
+	bias []float32, c []float64, ldc int, relu bool) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			if bias != nil {
+				sum = float64(bias[j])
+			}
+			for p := 0; p < k; p++ {
+				sum += float64(a[i*lda+p]) * float64(b[j*ldb+p])
+			}
+			if relu && sum < 0 {
+				sum = 0
+			}
+			c[i*ldc+j] = sum
+		}
+	}
+}
+
+func randSlice32(rng *sim.Stream, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.Uniform(-1, 1))
+	}
+	return out
+}
+
+// gemm32Shapes exercise the FMA kernel's k8 head/tail split, odd rows, the
+// n%4 column remainder, and panel boundaries (gemm32PanelN = 64).
+var gemm32Shapes = []struct{ m, n, k int }{
+	{1, 1, 1}, {2, 4, 8}, {3, 5, 7}, {16, 16, 16}, {7, 200, 9},
+	{5, 9, 300}, {33, 150, 150}, {66, 256, 24}, {64, 65, 129},
+}
+
+// TestGemm32MatchesNaive checks the production kernel (assembly tile where
+// the host supports it, scalar tile elsewhere) against a float64-accumulated
+// naive triple loop within f32 rounding.
+func TestGemm32MatchesNaive(t *testing.T) {
+	t.Logf("useFMA=%v", useFMA)
+	rng := sim.NewStream(21, "gemm32")
+	var wg sync.WaitGroup
+	for _, s := range gemm32Shapes {
+		a := randSlice32(rng, s.m*s.k)
+		b := randSlice32(rng, s.n*s.k)
+		bias := randSlice32(rng, s.n)
+		for _, relu := range []bool{false, true} {
+			got := make([]float32, s.m*s.n)
+			gemmNT32(s.m, s.n, s.k, a, s.k, b, s.k, bias, got, s.n, relu, 1, &wg)
+			want := make([]float64, s.m*s.n)
+			naiveNT32(s.m, s.n, s.k, a, s.k, b, s.k, bias, want, s.n, relu)
+			tol := 1e-5 * float64(s.k)
+			for i := range got {
+				if d := math.Abs(float64(got[i]) - want[i]); d > tol {
+					t.Fatalf("gemmNT32 %dx%dx%d relu=%v elem %d: got %g want %g (diff %g)",
+						s.m, s.n, s.k, relu, i, got[i], want[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestGemm32EdgeCases covers degenerate m/n/k of 0 and 1 and nil bias.
+func TestGemm32EdgeCases(t *testing.T) {
+	var wg sync.WaitGroup
+	for _, s := range []struct{ m, n, k int }{
+		{0, 4, 4}, {4, 0, 4}, {4, 4, 0}, {1, 1, 1}, {1, 4, 8}, {2, 1, 1},
+	} {
+		a := make([]float32, s.m*s.k+1)
+		b := make([]float32, s.n*s.k+1)
+		for i := range a {
+			a[i] = 2
+		}
+		for i := range b {
+			b[i] = 3
+		}
+		c := make([]float32, s.m*s.n+1)
+		gemmNT32(s.m, s.n, s.k, a, s.k, b, s.k, nil, c, s.n, false, runtime.NumCPU(), &wg)
+		for i := 0; i < s.m*s.n; i++ {
+			if want := float32(6 * s.k); c[i] != want {
+				t.Fatalf("shape %+v elem %d: got %g want %g", s, i, c[i], want)
+			}
+		}
+	}
+}
+
+// TestGemm32StridedWindows checks the conv-window aliasing contract: A's
+// rows overlap (row stride < row length), exactly how convStage views its
+// input.
+func TestGemm32StridedWindows(t *testing.T) {
+	rng := sim.NewStream(22, "gemm32-strided")
+	const (
+		T      = 40
+		in     = 3
+		kernel = 8
+		stride = 2
+		out    = 5
+	)
+	outT := (T-kernel)/stride + 1
+	kIn := kernel * in
+	x := randSlice32(rng, T*in)
+	w := randSlice32(rng, out*kIn)
+	bias := randSlice32(rng, out)
+
+	var wg sync.WaitGroup
+	got := make([]float32, outT*out)
+	gemmNT32(outT, out, kIn, x, stride*in, w, kIn, bias, got, out, false, 1, &wg)
+	for t0 := 0; t0 < outT; t0++ {
+		win := x[t0*stride*in : t0*stride*in+kIn]
+		for o := 0; o < out; o++ {
+			sum := float64(bias[o])
+			for i := 0; i < kIn; i++ {
+				sum += float64(win[i]) * float64(w[o*kIn+i])
+			}
+			if d := math.Abs(float64(got[t0*out+o]) - sum); d > 1e-5*float64(kIn) {
+				t.Fatalf("strided window (%d,%d): got %g want %g", t0, o, got[t0*out+o], sum)
+			}
+		}
+	}
+}
+
+// TestGemm32ParallelBitIdentical asserts the determinism contract directly:
+// serial output and parallel output at several worker counts are
+// bit-for-bit equal, including shapes that split into multiple panels.
+func TestGemm32ParallelBitIdentical(t *testing.T) {
+	rng := sim.NewStream(23, "gemm32-par")
+	var wg sync.WaitGroup
+	for _, s := range []struct{ m, n, k int }{
+		{66, 256, 24}, {8, 200, 64}, {31, 129, 33}, {2, 512, 100},
+	} {
+		a := randSlice32(rng, s.m*s.k)
+		b := randSlice32(rng, s.n*s.k)
+		bias := randSlice32(rng, s.n)
+		serial := make([]float32, s.m*s.n)
+		gemmNT32(s.m, s.n, s.k, a, s.k, b, s.k, bias, serial, s.n, false, 1, &wg)
+		for _, workers := range []int{2, 3, runtime.NumCPU() + 2} {
+			got := make([]float32, s.m*s.n)
+			gemmNT32(s.m, s.n, s.k, a, s.k, b, s.k, bias, got, s.n, false, workers, &wg)
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("%dx%dx%d workers=%d elem %d: %b != serial %b",
+						s.m, s.n, s.k, workers, i, got[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzGemm32Par fuzzes the parallel GEMM against the serial kernel
+// bit-for-bit at worker counts 1, 3, and NumCPU over randomized shapes and
+// data (satellite: GEMM edge-case coverage).
+func FuzzGemm32Par(f *testing.F) {
+	f.Add(uint64(1), 8, 64, 16)
+	f.Add(uint64(2), 1, 1, 1)
+	f.Add(uint64(3), 66, 256, 24)
+	f.Add(uint64(4), 5, 130, 9)
+	f.Fuzz(func(t *testing.T, seed uint64, m, n, k int) {
+		m, n, k = 1+abs(m)%80, 1+abs(n)%300, 1+abs(k)%200
+		rng := sim.NewStream(seed, "fuzz-gemm32")
+		a := randSlice32(rng, m*k)
+		b := randSlice32(rng, n*k)
+		bias := randSlice32(rng, n)
+		var wg sync.WaitGroup
+		serial := make([]float32, m*n)
+		gemmNT32(m, n, k, a, k, b, k, bias, serial, n, false, 1, &wg)
+		for _, workers := range []int{3, runtime.NumCPU()} {
+			got := make([]float32, m*n)
+			gemmNT32(m, n, k, a, k, b, k, bias, got, n, false, workers, &wg)
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("shape %dx%dx%d workers=%d elem %d: %g != %g",
+						m, n, k, workers, i, got[i], serial[i])
+				}
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestGemv32 checks the recurrent-step kernel.
+func TestGemv32(t *testing.T) {
+	rng := sim.NewStream(24, "gemv32")
+	const m, n = 37, 23
+	a := randSlice32(rng, m*n)
+	x := randSlice32(rng, n)
+	y := randSlice32(rng, m)
+	want := make([]float64, m)
+	for i := 0; i < m; i++ {
+		want[i] = float64(y[i])
+		for j := 0; j < n; j++ {
+			want[i] += float64(a[i*n+j]) * float64(x[j])
+		}
+	}
+	gemv32(m, n, a, n, x, y)
+	for i := range y {
+		if d := math.Abs(float64(y[i]) - want[i]); d > 1e-5*float64(n) {
+			t.Fatalf("gemv32 row %d: got %g want %g", i, y[i], want[i])
+		}
+	}
+}
+
+// BenchmarkGemm32Kernel times the f32 panel kernel at the paper CNN's
+// second-conv shape; compare with BenchmarkGEMM's f64 numbers.
+func BenchmarkGemm32Kernel(b *testing.B) {
+	rng := sim.NewStream(25, "bench-gemm32")
+	for _, s := range []struct{ m, n, k int }{{64, 64, 64}, {64, 256, 256}, {66, 256, 2048}} {
+		a := randSlice32(rng, s.m*s.k)
+		bb := randSlice32(rng, s.n*s.k)
+		c := make([]float32, s.m*s.n)
+		var wg sync.WaitGroup
+		flops := 2 * float64(s.m) * float64(s.n) * float64(s.k)
+		b.Run(fmt.Sprintf("NT32-%dx%dx%d", s.m, s.n, s.k), func(b *testing.B) {
+			// 1 byte/FLOP: the MB/s column doubles as MFLOP/s.
+			b.SetBytes(int64(flops))
+			for i := 0; i < b.N; i++ {
+				gemmNT32(s.m, s.n, s.k, a, s.k, bb, s.k, nil, c, s.n, false, 1, &wg)
+			}
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// TestAxpyMerge32 checks the fused conv kernel (asm where available, scalar
+// elsewhere) against a float64 reference for every partial-block width jn,
+// and that the masked store never touches out[jn:].
+func TestAxpyMerge32(t *testing.T) {
+	rng := sim.NewStream(33, "axpymerge")
+	for _, k := range []int{0, 1, 2, 7, 8, 24, 57} {
+		for _, jn := range []int{1, 2, 5, 8, 15, 16, 17, 31, 32} {
+			for _, floor := range []float32{negInf32, 0} {
+				a := randSlice32(rng, k)
+				wt := randSlice32(rng, max(k, 1)*32)
+				bias := randSlice32(rng, 32)
+				// out gets two merges so the running-max path is exercised;
+				// the guard region beyond jn must survive both untouched.
+				out := make([]float32, jn+8)
+				for j := range out {
+					out[j] = negInf32
+				}
+				const sentinel = float32(12345)
+				for j := jn; j < len(out); j++ {
+					out[j] = sentinel
+				}
+				want := make([]float64, jn)
+				for j := 0; j < jn; j++ {
+					want[j] = math.Inf(-1)
+				}
+				for pass := 0; pass < 2; pass++ {
+					axpyMerge32(k, jn, a, wt, bias, out[:jn], floor)
+					for j := 0; j < jn; j++ {
+						v := float64(bias[j])
+						for p := 0; p < k; p++ {
+							v += float64(a[p]) * float64(wt[p*32+j])
+						}
+						if v < float64(floor) {
+							v = float64(floor)
+						}
+						if v > want[j] {
+							want[j] = v
+						}
+					}
+					// Second pass reuses a with a sign flip so the max merge
+					// has fresh candidates.
+					for i := range a {
+						a[i] = -a[i]
+					}
+				}
+				for j := 0; j < jn; j++ {
+					if math.Abs(float64(out[j])-want[j]) > 1e-5*float64(max(k, 1)) {
+						t.Fatalf("k=%d jn=%d floor=%v out[%d]=%g want %g", k, jn, floor, j, out[j], want[j])
+					}
+				}
+				for j := jn; j < len(out); j++ {
+					if out[j] != sentinel {
+						t.Fatalf("k=%d jn=%d floor=%v: masked lane %d overwritten: %g", k, jn, floor, j, out[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -228,3 +228,93 @@ func TestGemvAndHelpers(t *testing.T) {
 		t.Errorf("dot: diff %g", d)
 	}
 }
+
+// TestGemmDegenerateShapes drives every float64 kernel through m/n/k of 0
+// and 1: empty dimensions must leave C untouched (no accumulate) and size-1
+// dimensions must reduce to plain scalar products.
+func TestGemmDegenerateShapes(t *testing.T) {
+	rng := sim.NewStream(41, "gemm-edge")
+	shapes := []struct{ m, n, k int }{
+		{0, 3, 3}, {3, 0, 3}, {3, 3, 0}, {0, 0, 0},
+		{1, 1, 1}, {1, 3, 5}, {3, 1, 5}, {3, 5, 1},
+	}
+	for _, s := range shapes {
+		a := randSlice(rng, s.m*s.k+1)
+		b := randSlice(rng, s.n*s.k+s.m*s.n+1) // big enough for NT and NN views
+		for _, acc := range []bool{false, true} {
+			got := randSlice(rng, s.m*s.n+1)
+			want := append([]float64(nil), got...)
+			GemmNT(s.m, s.n, s.k, a, s.k, b, s.k, got, s.n, acc)
+			naiveGemmNT(s.m, s.n, s.k, a, s.k, b, s.k, want, s.n, acc)
+			if d := maxAbsDiff(got, want); d > 1e-12 {
+				t.Fatalf("GemmNT %+v acc=%v: max diff %g", s, acc, d)
+			}
+
+			got = randSlice(rng, s.m*s.n+1)
+			want = append([]float64(nil), got...)
+			GemmNN(s.m, s.n, s.k, a, s.k, b, s.n, got, s.n, acc)
+			naiveGemmNN(s.m, s.n, s.k, a, s.k, b, s.n, want, s.n, acc)
+			if d := maxAbsDiff(got, want); d > 1e-12 {
+				t.Fatalf("GemmNN %+v acc=%v: max diff %g", s, acc, d)
+			}
+		}
+	}
+}
+
+// TestGemvDegenerateShapes covers gemv/gemvT at m/n of 0 and 1.
+func TestGemvDegenerateShapes(t *testing.T) {
+	rng := sim.NewStream(42, "gemv-edge")
+	for _, s := range []struct{ m, n int }{{0, 3}, {3, 0}, {1, 1}, {1, 4}, {4, 1}} {
+		a := randSlice(rng, s.m*s.n+1)
+		x := randSlice(rng, s.n)
+		y := randSlice(rng, s.m)
+		want := append([]float64(nil), y...)
+		for i := 0; i < s.m; i++ {
+			for j := 0; j < s.n; j++ {
+				want[i] += a[i*s.n+j] * x[j]
+			}
+		}
+		gemv(s.m, s.n, a, s.n, x, y)
+		if d := maxAbsDiff(y, want); d > 1e-12 {
+			t.Fatalf("gemv %+v: max diff %g", s, d)
+		}
+
+		xt := randSlice(rng, s.m)
+		yt := randSlice(rng, s.n)
+		wantT := append([]float64(nil), yt...)
+		for i := 0; i < s.m; i++ {
+			for j := 0; j < s.n; j++ {
+				wantT[j] += a[i*s.n+j] * xt[i]
+			}
+		}
+		gemvT(s.m, s.n, a, s.n, xt, yt)
+		if d := maxAbsDiff(yt, wantT); d > 1e-12 {
+			t.Fatalf("gemvT %+v: max diff %g", s, d)
+		}
+	}
+}
+
+// TestGemmNonContiguousStrides checks lda/ldb/ldc strictly larger than the
+// logical row length — padded rows must be skipped, never read or written.
+func TestGemmNonContiguousStrides(t *testing.T) {
+	rng := sim.NewStream(43, "gemm-stride")
+	const m, n, k = 5, 6, 7
+	const lda, ldb, ldc = k + 3, k + 2, n + 4
+	a := randSlice(rng, m*lda)
+	b := randSlice(rng, n*ldb)
+	c := randSlice(rng, m*ldc)
+	orig := append([]float64(nil), c...)
+	want := append([]float64(nil), c...)
+	GemmNT(m, n, k, a, lda, b, ldb, c, ldc, false)
+	naiveGemmNT(m, n, k, a, lda, b, ldb, want, ldc, false)
+	if d := maxAbsDiff(c, want); d > 1e-12 {
+		t.Fatalf("strided GemmNT: max diff %g", d)
+	}
+	for i := 0; i < m; i++ {
+		for j := n; j < ldc; j++ {
+			if c[i*ldc+j] != orig[i*ldc+j] {
+				t.Fatalf("GemmNT wrote into C row padding at (%d,%d)", i, j)
+			}
+		}
+	}
+}

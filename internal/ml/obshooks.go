@@ -14,3 +14,14 @@ var (
 	hEpochLoss  = obs.Default.Histogram("ml.fit.epoch_loss",
 		0.05, 0.1, 0.2, 0.5, 1, 2, 5)
 )
+
+// Handles for the compiled-inference path. Batch/sample counters are one
+// atomic add per PredictBatch call or micro-batch (thousands of GEMM flops
+// each); the fused-kernel wall-clock counter needs time.Now() and is gated
+// on obs.On() in PredictBatchInto.
+var (
+	mCompiles     = obs.Default.Counter("ml.compile.calls")
+	mInferBatches = obs.Default.Counter("ml.infer.batches")
+	mInferSamples = obs.Default.Counter("ml.infer.samples")
+	cInferFusedNS = obs.Default.Counter("ml.infer.fused_ns")
+)
