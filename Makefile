@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-infer bench-infer-smoke check-infer-equivalence bench-smoke bench-obs smoke-obs ci clean
+.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke check-infer-equivalence check-train-equivalence bench-smoke bench-obs smoke-obs ci clean
 
 # Run directory for benchmark artifacts. Every bench target drops all of its
 # outputs — profiles and the machine-readable JSON from cmd/benchjson — into
@@ -25,9 +25,9 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-heavy packages (training engine, fold/collection pools,
-# event engine, machine lifecycle, metrics registry/tracer) under the race
-# detector.
+# The concurrency-heavy packages (training engine incl. the persistent
+# gradient-shard worker pool, fold/collection pools, event engine, machine
+# lifecycle, metrics registry/tracer) under the race detector.
 race:
 	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs
 
@@ -47,6 +47,18 @@ bench-ml: | $(OUTDIR)
 	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkGEMM|BenchmarkPredictBatch|BenchmarkGemm32Kernel|BenchmarkAblationClassifiers' -benchmem . ./internal/ml \
 		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_ml.json
 
+# Training fast path only: end-to-end PaperNet training (serial vs
+# parallel) plus the batched-vs-per-sample engine ablation. BENCH_train.json
+# at the repo root is the committed baseline future changes diff against.
+bench-train: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkFitBatched' -benchmem . ./internal/ml \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_train.json
+
+# One-iteration pass over the training benchmarks: catches bit-rot in the
+# batched-engine benchmark plumbing without paying for stable timings.
+bench-train-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkTrainPaperNet|BenchmarkFitBatched' -benchtime 1x . ./internal/ml
+
 # Inference fast path only: compiled-vs-reference PredictBatch plus the f32
 # kernel behind it.
 bench-infer: | $(OUTDIR)
@@ -64,6 +76,13 @@ bench-infer-smoke:
 check-infer-equivalence:
 	$(GO) test -run 'TestCompiledReferenceEquivalence' -v ./internal/core \
 		| grep -- '--- PASS: TestCompiledReferenceEquivalence'
+
+# The batch-major training engine must produce bit-identical trained weights
+# to the per-sample reference at every Parallelism. Same grep discipline as
+# check-infer-equivalence: a silent skip prints no PASS and fails ci.
+check-train-equivalence:
+	$(GO) test -run 'TestTrainBatchedPerSampleEquivalence' -v ./internal/ml \
+		| grep -- '--- PASS: TestTrainBatchedPerSampleEquivalence'
 
 # One-iteration pass over the simulation-side benchmarks: catches bit-rot in
 # benchmark code without paying for stable timings.
@@ -83,7 +102,7 @@ smoke-obs:
 	grep -q '"scenario": "bgnoise/quiet"' smoke-obs-out/run.json
 	rm -rf smoke-obs-out
 
-ci: build vet test race bench-smoke bench-infer-smoke check-infer-equivalence smoke-obs
+ci: build vet test race bench-smoke bench-infer-smoke bench-train-smoke check-infer-equivalence check-train-equivalence smoke-obs
 
 clean:
 	$(GO) clean

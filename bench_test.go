@@ -335,6 +335,7 @@ func BenchmarkTrainPaperNet(b *testing.B) {
 		par  int
 	}{{"serial", 1}, {"parallel", 0}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var acc float64
 			for i := 0; i < b.N; i++ {
 				model, err := ml.PaperNet(7, 300, classes, 16, 16, 0.2)

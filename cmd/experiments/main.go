@@ -6,6 +6,7 @@
 //
 //	experiments [-scale small|medium|full] [-only t1,t2,f3,...] [-out dir]
 //	            [-md report.md] [-seed N] [-clf centroid|knn|logreg|cnn]
+//	            [-trainbatch on|off]
 //	            [-obs] [-progress 2s] [-manifest run.json] [-httpaddr :0]
 //	            [-outdir dir] [-cpuprofile f] [-memprofile f]
 //
@@ -51,6 +52,7 @@ func run() int {
 	clf := flag.String("clf", "", "classifier for all experiments: centroid (default), knn, logreg, cnn")
 	infer := flag.String("infer", "compiled", "inference engine for trained models: compiled (frozen f32 fast path) or reference (f64 training graph)")
 	inferPar := flag.Int("inferpar", 0, "intra-op workers for compiled inference GEMMs (0 = GOMAXPROCS); output is identical for every value")
+	trainBatch := flag.String("trainbatch", "on", "training engine for gradient-trained classifiers: on (batch-major fast path) or off (per-sample reference); trained weights are bit-identical either way")
 	obsOn := flag.Bool("obs", false, "enable the observability layer (metrics + span tracing)")
 	progress := flag.Duration("progress", 0, "live progress-line interval on stderr (implies -obs)")
 	manifestPath := flag.String("manifest", "", "write a run-manifest JSON to this file (implies -obs)")
@@ -69,6 +71,10 @@ func run() int {
 	core.SetDefaultClassifier(mk)
 
 	if err := core.ConfigureInference(*infer, *inferPar); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := core.ConfigureTraining(*trainBatch); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
@@ -162,6 +168,7 @@ func run() int {
 		}
 		m.Config["infer"] = *infer
 		m.Config["inferpar"] = fmt.Sprint(*inferPar)
+		m.Config["trainbatch"] = *trainBatch
 		m.Config["cells"] = fmt.Sprint(*cells)
 		m.Config["dscache"] = fmt.Sprint(*dsCacheCap)
 		if runErr != nil {

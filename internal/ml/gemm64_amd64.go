@@ -1,0 +1,42 @@
+//go:build amd64
+
+package ml
+
+// Assembly declarations for the float64 training kernels in
+// gemm64_amd64.s. They run behind the same CPUID gate as the f32 inference
+// kernels (AVX2+FMA+OS ymm support), but unlike those they use no FMA
+// instructions: every kernel is mul-then-add in the exact lane order of its
+// generic Go counterpart, so enabling the gate never changes results — see
+// TestF64KernelsBitIdentical.
+
+//go:noescape
+func axpy64AVX(n int, alpha float64, x, y *float64)
+
+//go:noescape
+func axpy264AVX(n int, a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64)
+
+//go:noescape
+func dot64AVX(n int, x, y *float64) float64
+
+//go:noescape
+func dotNT4x2AVX(k int, a0, a1, b0, b1, b2, b3, sums *float64)
+
+//go:noescape
+func vmul64AVX(n int, x, y, dst *float64)
+
+//go:noescape
+func vmax64AVX(n int, x, y *float64)
+
+//go:noescape
+func relu64AVX(n int, x, out, mask *float64)
+
+//go:noescape
+func maxidx64AVX(n int, x, y *float64, idx *int, r int)
+
+//go:noescape
+func axpy464AVX(n int, a0 float64, x0 *float64, a1 float64, x1 *float64, a2 float64, x2 *float64, a3 float64, x3 *float64, y *float64)
+
+//go:noescape
+func adam64AVX(n int, grad, m, v, w *float64, b1, c1, b2, c2, bc1, bc2, lr, eps float64)
+
+func init() { useAVX64 = hasAVX2FMA() }

@@ -1,0 +1,452 @@
+#include "textflag.h"
+
+// Float64 AVX2 kernels for the training path. Unlike the f32 inference
+// kernels in gemm32_amd64.s these deliberately avoid FMA: an FMA contracts
+// mul+add into one rounding, which would make the assembly results differ
+// in the last bit from the generic Go code (which the compiler lowers to
+// separate MULSD/ADDSD at the default GOAMD64 level). Every kernel here is
+// VMULPD followed by VADDPD, and every multi-lane accumulator mirrors the
+// exact lane structure of its generic counterpart, so asm and generic are
+// bit-identical — the useAVX64 gate changes speed, never results.
+//
+// All kernels require n (or k) to be a multiple of 4; callers round down
+// and handle the scalar tail in Go, in the same order as the generic code.
+
+// func axpy64AVX(n int, alpha float64, x, y *float64)
+//
+// y[i] += alpha * x[i] for i in [0, n), n % 4 == 0.
+TEXT ·axpy64AVX(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	VBROADCASTSD alpha+8(FP), Y0
+	MOVQ x+16(FP), SI
+	MOVQ y+24(FP), DI
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   axtail
+axloop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI), Y1, Y1
+	VADDPD  32(DI), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  axloop8
+axtail:
+	TESTQ $4, CX
+	JZ    axdone
+	VMOVUPD (SI), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI), Y1, Y1
+	VMOVUPD Y1, (DI)
+axdone:
+	VZEROUPPER
+	RET
+
+// func axpy264AVX(n int, a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64)
+//
+// y[i] += a0*x0[i] + a1*x1[i], n % 4 == 0. The products are summed before
+// touching y, matching the generic expression tree exactly.
+TEXT ·axpy264AVX(SB), NOSPLIT, $0-48
+	MOVQ n+0(FP), CX
+	VBROADCASTSD a0+8(FP), Y0
+	MOVQ x0+16(FP), SI
+	VBROADCASTSD a1+24(FP), Y1
+	MOVQ x1+32(FP), DI
+	MOVQ y+40(FP), DX
+	SHRQ $2, CX
+	JZ   ax2done
+ax2loop:
+	VMOVUPD (SI), Y2
+	VMOVUPD (DI), Y3
+	VMULPD  Y0, Y2, Y2
+	VMULPD  Y1, Y3, Y3
+	VADDPD  Y3, Y2, Y2
+	VADDPD  (DX), Y2, Y2
+	VMOVUPD Y2, (DX)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  ax2loop
+ax2done:
+	VZEROUPPER
+	RET
+
+// func dot64AVX(n int, x, y *float64) float64
+//
+// Eight-lane dot product, n % 8 == 0: Y0 holds lanes s0..s3 (i%8 in 0..3),
+// Y1 holds s4..s7, and the epilogue reduces in the generic left-fold order
+// ((((((s0+s1)+s2)+s3)+s4)+s5)+s6)+s7.
+TEXT ·dot64AVX(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	SHRQ $3, CX
+	JZ   dreduce
+dloop:
+	VMOVUPD (SI), Y2
+	VMOVUPD 32(SI), Y3
+	VMULPD  (DI), Y2, Y2
+	VMULPD  32(DI), Y3, Y3
+	VADDPD  Y2, Y0, Y0
+	VADDPD  Y3, Y1, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  dloop
+dreduce:
+	VEXTRACTF128 $1, Y0, X2
+	VEXTRACTF128 $1, Y1, X3
+	VUNPCKHPD X0, X0, X4
+	VADDSD X4, X0, X0
+	VADDSD X2, X0, X0
+	VUNPCKHPD X2, X2, X4
+	VADDSD X4, X0, X0
+	VADDSD X1, X0, X0
+	VUNPCKHPD X1, X1, X4
+	VADDSD X4, X0, X0
+	VADDSD X3, X0, X0
+	VUNPCKHPD X3, X3, X4
+	VADDSD X4, X0, X0
+	MOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dotNT4x2AVX(k int, a0, a1, b0, b1, b2, b3, sums *float64)
+//
+// GemmNT micro-tile: two A rows against four B rows, k % 4 == 0. Each of
+// the eight accumulators is one ymm whose four lanes mirror dotLanes4's
+// s0..s3, reduced in the same ((s0+s1)+s2)+s3 order into sums[0..7]
+// (row-major: a0·b0..b3 then a1·b0..b3).
+TEXT ·dotNT4x2AVX(SB), NOSPLIT, $0-64
+	MOVQ k+0(FP), CX
+	MOVQ a0+8(FP), SI
+	MOVQ a1+16(FP), DI
+	MOVQ b0+24(FP), R8
+	MOVQ b1+32(FP), R9
+	MOVQ b2+40(FP), R10
+	MOVQ b3+48(FP), R11
+	MOVQ sums+56(FP), DX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	SHRQ $2, CX
+	JZ   treduce
+tloop:
+	VMOVUPD (SI), Y8
+	VMOVUPD (DI), Y9
+	VMOVUPD (R8), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y0, Y0
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y4, Y4
+	VMOVUPD (R9), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y1, Y1
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y5, Y5
+	VMOVUPD (R10), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y2, Y2
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y6, Y6
+	VMOVUPD (R11), Y10
+	VMULPD  Y10, Y8, Y11
+	VADDPD  Y11, Y3, Y3
+	VMULPD  Y10, Y9, Y11
+	VADDPD  Y11, Y7, Y7
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ CX
+	JNZ  tloop
+treduce:
+	VEXTRACTF128 $1, Y0, X9
+	VUNPCKHPD X0, X0, X10
+	VADDSD X10, X0, X0
+	VADDSD X9, X0, X0
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X0, X0
+	MOVSD X0, 0(DX)
+	VEXTRACTF128 $1, Y1, X9
+	VUNPCKHPD X1, X1, X10
+	VADDSD X10, X1, X1
+	VADDSD X9, X1, X1
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X1, X1
+	MOVSD X1, 8(DX)
+	VEXTRACTF128 $1, Y2, X9
+	VUNPCKHPD X2, X2, X10
+	VADDSD X10, X2, X2
+	VADDSD X9, X2, X2
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X2, X2
+	MOVSD X2, 16(DX)
+	VEXTRACTF128 $1, Y3, X9
+	VUNPCKHPD X3, X3, X10
+	VADDSD X10, X3, X3
+	VADDSD X9, X3, X3
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X3, X3
+	MOVSD X3, 24(DX)
+	VEXTRACTF128 $1, Y4, X9
+	VUNPCKHPD X4, X4, X10
+	VADDSD X10, X4, X4
+	VADDSD X9, X4, X4
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X4, X4
+	MOVSD X4, 32(DX)
+	VEXTRACTF128 $1, Y5, X9
+	VUNPCKHPD X5, X5, X10
+	VADDSD X10, X5, X5
+	VADDSD X9, X5, X5
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X5, X5
+	MOVSD X5, 40(DX)
+	VEXTRACTF128 $1, Y6, X9
+	VUNPCKHPD X6, X6, X10
+	VADDSD X10, X6, X6
+	VADDSD X9, X6, X6
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X6, X6
+	MOVSD X6, 48(DX)
+	VEXTRACTF128 $1, Y7, X9
+	VUNPCKHPD X7, X7, X10
+	VADDSD X10, X7, X7
+	VADDSD X9, X7, X7
+	VUNPCKHPD X9, X9, X10
+	VADDSD X10, X7, X7
+	MOVSD X7, 56(DX)
+	VZEROUPPER
+	RET
+
+// func vmul64AVX(n int, x, y, dst *float64)
+//
+// dst[i] = x[i] * y[i], n % 4 == 0 (ReLU/Dropout backward masking).
+TEXT ·vmul64AVX(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ dst+24(FP), DX
+	SHRQ $2, CX
+	JZ   vmdone
+vmloop:
+	VMOVUPD (SI), Y0
+	VMULPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DX)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  vmloop
+vmdone:
+	VZEROUPPER
+	RET
+
+// func vmax64AVX(n int, x, y *float64)
+//
+// y[i] = x[i] if x[i] > y[i] else y[i], n % 4 == 0. A compare+blend rather
+// than VMAXPD so NaN/±0 handling matches the generic `if x > y` exactly
+// (ordered compare: NaN in either operand keeps y).
+TEXT ·vmax64AVX(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	SHRQ $2, CX
+	JZ   vxdone
+vxloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (DI), Y1
+	VCMPPD  $0x1e, Y1, Y0, Y2 // GT_OQ: x > y
+	VBLENDVPD Y2, Y0, Y1, Y3
+	VMOVUPD Y3, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  vxloop
+vxdone:
+	VZEROUPPER
+	RET
+
+// func maxidx64AVX(n int, x, y *float64, idx *int, r int)
+//
+// Fused max + argmax fold: where x[i] > y[i], set y[i] = x[i] and
+// idx[i] = r. n % 4 == 0. The same GT_OQ compare mask drives both blends
+// (VBLENDVPD selects 64-bit lanes by mask sign bit, so it moves int64
+// indices as happily as doubles), which keeps ties and NaN on the earlier
+// row exactly like the generic branchy fold.
+TEXT ·maxidx64AVX(SB), NOSPLIT, $0-40
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ idx+24(FP), DX
+	MOVQ r+32(FP), AX
+	MOVQ AX, X4
+	VBROADCASTSD X4, Y4
+	SHRQ $2, CX
+	JZ   midone
+miloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (DI), Y1
+	VCMPPD  $0x1e, Y1, Y0, Y2 // GT_OQ: x > y
+	VBLENDVPD Y2, Y0, Y1, Y3
+	VMOVUPD Y3, (DI)
+	VMOVUPD (DX), Y1
+	VBLENDVPD Y2, Y4, Y1, Y3
+	VMOVUPD Y3, (DX)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  miloop
+midone:
+	VZEROUPPER
+	RET
+
+// func axpy464AVX(n int, a0 float64, x0 *float64, a1 float64, x1 *float64, a2 float64, x2 *float64, a3 float64, x3 *float64, y *float64)
+//
+// y[i] += ((a0*x0[i] + a1*x1[i]) + a2*x2[i]) + a3*x3[i], n % 4 == 0.
+// The four products fold left-to-right before touching y, matching the
+// generic Go expression tree for the same four-row update.
+TEXT ·axpy464AVX(SB), NOSPLIT, $0-80
+	MOVQ n+0(FP), CX
+	VBROADCASTSD a0+8(FP), Y0
+	MOVQ x0+16(FP), SI
+	VBROADCASTSD a1+24(FP), Y1
+	MOVQ x1+32(FP), DI
+	VBROADCASTSD a2+40(FP), Y2
+	MOVQ x2+48(FP), R8
+	VBROADCASTSD a3+56(FP), Y3
+	MOVQ x3+64(FP), R9
+	MOVQ y+72(FP), DX
+	SHRQ $2, CX
+	JZ   ax4done
+ax4loop:
+	VMOVUPD (SI), Y4
+	VMULPD  Y0, Y4, Y4
+	VMOVUPD (DI), Y5
+	VMULPD  Y1, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD (R8), Y5
+	VMULPD  Y2, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VMOVUPD (R9), Y5
+	VMULPD  Y3, Y5, Y5
+	VADDPD  Y5, Y4, Y4
+	VADDPD  (DX), Y4, Y4
+	VMOVUPD Y4, (DX)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  ax4loop
+ax4done:
+	VZEROUPPER
+	RET
+
+// func adam64AVX(n int, grad, m, v, w *float64, b1, c1, b2, c2, bc1, bc2, lr, eps float64)
+//
+// One Adam update over n % 4 == 0 elements:
+//   m = b1*m + c1*g
+//   v = b2*v + c2*g*g
+//   w -= lr * (m/bc1) / (sqrt(v/bc2) + eps)
+// Every operation (VMULPD/VADDPD/VDIVPD/VSQRTPD) is a correctly rounded
+// IEEE-754 primitive applied in the generic expression order, and each
+// element is independent, so the vector update is bit-identical to the
+// scalar loop (math.Sqrt is SQRTSD — the same correctly rounded sqrt).
+TEXT ·adam64AVX(SB), NOSPLIT, $0-104
+	MOVQ n+0(FP), CX
+	MOVQ grad+8(FP), SI
+	MOVQ m+16(FP), DI
+	MOVQ v+24(FP), R8
+	MOVQ w+32(FP), R9
+	VBROADCASTSD b1+40(FP), Y0
+	VBROADCASTSD c1+48(FP), Y1
+	VBROADCASTSD b2+56(FP), Y2
+	VBROADCASTSD c2+64(FP), Y3
+	VBROADCASTSD bc1+72(FP), Y4
+	VBROADCASTSD bc2+80(FP), Y5
+	VBROADCASTSD lr+88(FP), Y6
+	VBROADCASTSD eps+96(FP), Y7
+	SHRQ $2, CX
+	JZ   addone
+adloop:
+	VMOVUPD (SI), Y8        // g
+	VMOVUPD (DI), Y9
+	VMULPD  Y0, Y9, Y9      // b1*m
+	VMULPD  Y1, Y8, Y10     // c1*g
+	VADDPD  Y10, Y9, Y9     // m' = b1*m + c1*g
+	VMOVUPD Y9, (DI)
+	VMOVUPD (R8), Y10
+	VMULPD  Y2, Y10, Y10    // b2*v
+	VMULPD  Y3, Y8, Y11     // c2*g
+	VMULPD  Y8, Y11, Y11    // (c2*g)*g
+	VADDPD  Y11, Y10, Y10   // v' = b2*v + c2*g*g
+	VMOVUPD Y10, (R8)
+	VDIVPD  Y4, Y9, Y9      // m'/bc1
+	VMULPD  Y9, Y6, Y9      // lr * (m'/bc1)
+	VDIVPD  Y5, Y10, Y10    // v'/bc2
+	VSQRTPD Y10, Y10
+	VADDPD  Y7, Y10, Y10    // sqrt(v'/bc2) + eps
+	VDIVPD  Y10, Y9, Y9     // update
+	VMOVUPD (R9), Y11
+	VSUBPD  Y9, Y11, Y11    // w - update
+	VMOVUPD Y11, (R9)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	DECQ CX
+	JNZ  adloop
+addone:
+	VZEROUPPER
+	RET
+
+// func relu64AVX(n int, x, out, mask *float64)
+//
+// out[i] = x[i] if x[i] > 0 else 0; mask[i] = 1 or 0 likewise. n % 4 == 0.
+// Pure bitwise selection (compare + AND), so it is trivially identical to
+// the generic branchy code, including -0 and NaN inputs (both map to 0).
+TEXT ·relu64AVX(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ out+16(FP), DI
+	MOVQ mask+24(FP), DX
+	VXORPD Y0, Y0, Y0
+	MOVQ $0x3FF0000000000000, AX // 1.0
+	MOVQ AX, X9
+	VBROADCASTSD X9, Y9
+	SHRQ $2, CX
+	JZ   rldone
+rlloop:
+	VMOVUPD (SI), Y1
+	VCMPPD  $0x1e, Y0, Y1, Y2 // GT_OQ: x > 0
+	VANDPD  Y2, Y1, Y3
+	VANDPD  Y2, Y9, Y4
+	VMOVUPD Y3, (DI)
+	VMOVUPD Y4, (DX)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  rlloop
+rldone:
+	VZEROUPPER
+	RET

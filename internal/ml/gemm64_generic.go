@@ -1,0 +1,46 @@
+//go:build !amd64
+
+package ml
+
+// Stubs satisfying the f64 kernel references on non-amd64 builds; all are
+// unreachable because useAVX64 stays false there.
+
+func axpy64AVX(n int, alpha float64, x, y *float64) {
+	panic("ml: axpy64AVX called without AVX2 support")
+}
+
+func axpy264AVX(n int, a0 float64, x0 *float64, a1 float64, x1 *float64, y *float64) {
+	panic("ml: axpy264AVX called without AVX2 support")
+}
+
+func dot64AVX(n int, x, y *float64) float64 {
+	panic("ml: dot64AVX called without AVX2 support")
+}
+
+func dotNT4x2AVX(k int, a0, a1, b0, b1, b2, b3, sums *float64) {
+	panic("ml: dotNT4x2AVX called without AVX2 support")
+}
+
+func vmul64AVX(n int, x, y, dst *float64) {
+	panic("ml: vmul64AVX called without AVX2 support")
+}
+
+func vmax64AVX(n int, x, y *float64) {
+	panic("ml: vmax64AVX called without AVX2 support")
+}
+
+func relu64AVX(n int, x, out, mask *float64) {
+	panic("ml: relu64AVX called without AVX2 support")
+}
+
+func maxidx64AVX(n int, x, y *float64, idx *int, r int) {
+	panic("ml: maxidx64AVX called without AVX2 support")
+}
+
+func axpy464AVX(n int, a0 float64, x0 *float64, a1 float64, x1 *float64, a2 float64, x2 *float64, a3 float64, x3 *float64, y *float64) {
+	panic("ml: axpy464AVX called without AVX2 support")
+}
+
+func adam64AVX(n int, grad, m, v, w *float64, b1, c1, b2, c2, bc1, bc2, lr, eps float64) {
+	panic("ml: adam64AVX called without AVX2 support")
+}

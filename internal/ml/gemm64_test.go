@@ -1,0 +1,239 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// withAVX64 runs fn twice, once with the AVX2 f64 kernels enabled and once
+// forced generic, returning whether both ran (false when the host has no
+// AVX2 and only the generic leg ran).
+func withAVX64(fn func()) bool {
+	was := useAVX64
+	defer func() { useAVX64 = was }()
+	useAVX64 = false
+	fn()
+	if !was {
+		return false
+	}
+	useAVX64 = true
+	fn()
+	return true
+}
+
+// TestF64KernelsBitIdentical is the contract of gemm64_amd64.s: with the
+// gate on, every helper must produce bitwise the same result as the generic
+// Go code — not merely close — across lengths that hit the vector body,
+// the 4-wide tail, and the scalar tail, including special values.
+func TestF64KernelsBitIdentical(t *testing.T) {
+	if !useAVX64 {
+		t.Skip("host CPU has no AVX2; generic path is the only path")
+	}
+	rng := sim.NewStream(51, "f64-kernels")
+	lengths := []int{1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 32, 33, 100, 128, 129}
+	specials := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 1e-310}
+
+	fill := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Uniform(-2, 2)
+		}
+		// Sprinkle special values so selection kernels face NaN/±0 too.
+		for k, v := range specials {
+			if n > k*3 {
+				s[k*3] = v
+			}
+		}
+		return s
+	}
+	bitsEq := func(a, b []float64) bool {
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, n := range lengths {
+		x, y, z := fill(n), fill(n), fill(n)
+
+		var yGen, yAVX []float64
+		run := func(dst *[]float64, base []float64, f func(out []float64)) func() {
+			return func() {
+				out := append([]float64(nil), base...)
+				f(out)
+				*dst = out
+			}
+		}
+		_ = run
+
+		// axpy
+		var a1, a2 []float64
+		useAVX64 = false
+		a1 = append([]float64(nil), y...)
+		axpy(0.37, x, a1)
+		useAVX64 = true
+		a2 = append([]float64(nil), y...)
+		axpy(0.37, x, a2)
+		if !bitsEq(a1, a2) {
+			t.Fatalf("axpy n=%d: asm differs from generic", n)
+		}
+
+		// axpy2
+		useAVX64 = false
+		a1 = append([]float64(nil), y...)
+		axpy2(0.37, x, -1.25, z, a1)
+		useAVX64 = true
+		a2 = append([]float64(nil), y...)
+		axpy2(0.37, x, -1.25, z, a2)
+		if !bitsEq(a1, a2) {
+			t.Fatalf("axpy2 n=%d: asm differs from generic", n)
+		}
+
+		// dot (skip NaN-poisoned prefix comparisons via bits compare of the scalar)
+		xc, yc := fill(n), fill(n)
+		for i := range xc { // dot must stay finite for a meaningful compare
+			if math.IsNaN(xc[i]) || math.IsInf(xc[i], 0) {
+				xc[i] = 0.5
+			}
+			if math.IsNaN(yc[i]) || math.IsInf(yc[i], 0) {
+				yc[i] = -0.5
+			}
+		}
+		useAVX64 = false
+		d1 := dot(xc, yc)
+		useAVX64 = true
+		d2 := dot(xc, yc)
+		if math.Float64bits(d1) != math.Float64bits(d2) {
+			t.Fatalf("dot n=%d: asm %x differs from generic %x", n, math.Float64bits(d2), math.Float64bits(d1))
+		}
+
+		// vmulInto
+		useAVX64 = false
+		a1 = make([]float64, n)
+		vmulInto(a1, x, y)
+		useAVX64 = true
+		a2 = make([]float64, n)
+		vmulInto(a2, x, y)
+		if !bitsEq(a1, a2) {
+			t.Fatalf("vmulInto n=%d: asm differs from generic", n)
+		}
+
+		// maxInto (exercises NaN/±0 selection semantics)
+		useAVX64 = false
+		a1 = append([]float64(nil), y...)
+		maxInto(a1, x)
+		useAVX64 = true
+		a2 = append([]float64(nil), y...)
+		maxInto(a2, x)
+		if !bitsEq(a1, a2) {
+			t.Fatalf("maxInto n=%d: asm differs from generic", n)
+		}
+
+		// reluFwd
+		useAVX64 = false
+		a1 = make([]float64, n)
+		m1 := make([]float64, n)
+		reluFwd(x, a1, m1)
+		useAVX64 = true
+		a2 = make([]float64, n)
+		m2 := make([]float64, n)
+		reluFwd(x, a2, m2)
+		if !bitsEq(a1, a2) || !bitsEq(m1, m2) {
+			t.Fatalf("reluFwd n=%d: asm differs from generic", n)
+		}
+
+		// axpy4
+		w := fill(n)
+		useAVX64 = false
+		a1 = append([]float64(nil), y...)
+		axpy4(0.37, x, -1.25, z, 0.8, w, -0.4, x, a1)
+		useAVX64 = true
+		a2 = append([]float64(nil), y...)
+		axpy4(0.37, x, -1.25, z, 0.8, w, -0.4, x, a2)
+		if !bitsEq(a1, a2) {
+			t.Fatalf("axpy4 n=%d: asm differs from generic", n)
+		}
+
+		// maxIdxInto (exercises NaN/±0 selection semantics on value and index)
+		useAVX64 = false
+		a1 = append([]float64(nil), y...)
+		i1 := make([]int, n)
+		maxIdxInto(a1, i1, x, 7)
+		useAVX64 = true
+		a2 = append([]float64(nil), y...)
+		i2 := make([]int, n)
+		maxIdxInto(a2, i2, x, 7)
+		if !bitsEq(a1, a2) {
+			t.Fatalf("maxIdxInto n=%d: asm values differ from generic", n)
+		}
+		for i := range i1 {
+			if i1[i] != i2[i] {
+				t.Fatalf("maxIdxInto n=%d elem %d: asm index %d differs from generic %d", n, i, i2[i], i1[i])
+			}
+		}
+
+		// adamStep (division and sqrt must round identically)
+		gv, mv, vv, wv := fill(n), fill(n), fill(n), fill(n)
+		for i := 0; i < n; i++ { // keep v non-negative so sqrt is real
+			if math.IsNaN(vv[i]) || vv[i] < 0 {
+				vv[i] = -vv[i]
+			}
+			if math.IsNaN(vv[i]) {
+				vv[i] = 0.25
+			}
+		}
+		m1a, v1a, w1a := append([]float64(nil), mv...), append([]float64(nil), vv...), append([]float64(nil), wv...)
+		m2a, v2a, w2a := append([]float64(nil), mv...), append([]float64(nil), vv...), append([]float64(nil), wv...)
+		useAVX64 = false
+		adamStep(w1a, gv, m1a, v1a, 0.9, 0.999, 0.003, 1e-8, 0.1, 0.001999)
+		useAVX64 = true
+		adamStep(w2a, gv, m2a, v2a, 0.9, 0.999, 0.003, 1e-8, 0.1, 0.001999)
+		if !bitsEq(m1a, m2a) || !bitsEq(v1a, v2a) || !bitsEq(w1a, w2a) {
+			t.Fatalf("adamStep n=%d: asm differs from generic", n)
+		}
+		_ = yGen
+		_ = yAVX
+	}
+}
+
+// TestGemmNTBitIdenticalAcrossGate checks the full GemmNT (micro-tile plus
+// row/column/k remainders) produces bitwise identical C with the AVX2
+// kernels on and off, across shapes straddling every remainder case and the
+// 128-wide blocking.
+func TestGemmNTBitIdenticalAcrossGate(t *testing.T) {
+	if !useAVX64 {
+		t.Skip("host CPU has no AVX2; generic path is the only path")
+	}
+	rng := sim.NewStream(52, "nt-gate")
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {2, 4, 4}, {2, 4, 5}, {3, 5, 7}, {2, 4, 8},
+		{5, 9, 13}, {7, 6, 130}, {9, 130, 17}, {98, 16, 8}, {33, 150, 150},
+	}
+	for _, s := range shapes {
+		a := make([]float64, s.m*s.k)
+		b := make([]float64, s.n*s.k)
+		for i := range a {
+			a[i] = rng.Uniform(-1, 1)
+		}
+		for i := range b {
+			b[i] = rng.Uniform(-1, 1)
+		}
+		c1 := make([]float64, s.m*s.n)
+		c2 := make([]float64, s.m*s.n)
+		was := useAVX64
+		useAVX64 = false
+		GemmNT(s.m, s.n, s.k, a, s.k, b, s.k, c1, s.n, false)
+		useAVX64 = true
+		GemmNT(s.m, s.n, s.k, a, s.k, b, s.k, c2, s.n, false)
+		useAVX64 = was
+		for i := range c1 {
+			if math.Float64bits(c1[i]) != math.Float64bits(c2[i]) {
+				t.Fatalf("GemmNT %dx%dx%d elem %d: generic %v asm %v", s.m, s.n, s.k, i, c1[i], c2[i])
+			}
+		}
+	}
+}

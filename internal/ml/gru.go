@@ -34,6 +34,15 @@ type GRU struct {
 	dhp   []float64
 	out   *Tensor
 	dxb   *Tensor
+
+	// Batch-major path state (batch.go).
+	bX           *batchT
+	bT           int
+	bXa, bGates  []float64 // B × T × 3H
+	bDha         []float64 // B × T × 3H
+	bHpre, bHids []float64 // B × T × H
+	bDh, bDhp    []float64 // B × H
+	bOut, bDx    *batchT
 }
 
 // NewGRU creates a GRU with Glorot-initialized weights.

@@ -48,6 +48,8 @@ type Dense struct {
 
 	x        *Tensor // saved input (flattened view)
 	out, dxb *Tensor
+
+	bX, bOut, bDx *batchT // batch-major path state (batch.go)
 }
 
 // NewDense creates a Dense layer with Glorot initialization.
@@ -64,17 +66,17 @@ func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
 	}
 	d.x = x
 	d.out = ensure(d.out, 1, d.Out)
-	for o := 0; o < d.Out; o++ {
-		d.out.Data[o] = d.b.W[o] + dot(d.w.W[o*d.In:(o+1)*d.In], x.Data)
-	}
+	copy(d.out.Data, d.b.W)
+	GemmNT(1, d.Out, d.In, x.Data, d.In, d.w.W, d.In, d.out.Data, d.Out, true)
 	return d.out
 }
 
-// Backward accumulates dW, db and returns dx.
+// Backward accumulates dW, db and returns dx. dx is the single-row case of
+// the GemmNN the batched path runs, so both engines share one float
+// sequence per sample.
 func (d *Dense) Backward(grad *Tensor) *Tensor {
 	d.dxb = ensure(d.dxb, d.x.Rows, d.x.Cols)
 	dx := d.dxb
-	zeroF(dx.Data)
 	for o := 0; o < d.Out; o++ {
 		g := grad.Data[o]
 		if g == 0 {
@@ -82,8 +84,8 @@ func (d *Dense) Backward(grad *Tensor) *Tensor {
 		}
 		d.b.G[o] += g
 		axpy(g, d.x.Data, d.w.G[o*d.In:(o+1)*d.In])
-		axpy(g, d.w.W[o*d.In:(o+1)*d.In], dx.Data)
 	}
+	GemmNN(1, d.In, d.Out, grad.Data, d.Out, d.w.W, d.In, dx.Data, d.In, false)
 	return dx
 }
 
@@ -98,20 +100,16 @@ func (d *Dense) replica() Layer {
 type ReLU struct {
 	mask     []float64 // 1 where the input was positive, else 0
 	out, dxb *Tensor
+
+	bOut, bDx *batchT // batch-major path state (batch.go)
+	bMask     []float64
 }
 
-// Forward zeroes negatives.
+// Forward zeroes negatives (vectorized compare+mask, see reluFwd).
 func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
 	r.out = ensure(r.out, x.Rows, x.Cols)
 	r.mask = growF(r.mask, len(x.Data))
-	out, mask := r.out.Data[:len(x.Data)], r.mask[:len(x.Data)]
-	for i, v := range x.Data {
-		if v > 0 {
-			out[i], mask[i] = v, 1
-		} else {
-			out[i], mask[i] = 0, 0
-		}
-	}
+	reluFwd(x.Data, r.out.Data[:len(x.Data)], r.mask)
 	return r.out
 }
 
@@ -119,10 +117,7 @@ func (r *ReLU) Forward(x *Tensor, train bool) *Tensor {
 // the 0/1 mask).
 func (r *ReLU) Backward(grad *Tensor) *Tensor {
 	r.dxb = ensure(r.dxb, grad.Rows, grad.Cols)
-	dx, mask := r.dxb.Data[:len(grad.Data)], r.mask[:len(grad.Data)]
-	for i, v := range grad.Data {
-		dx[i] = v * mask[i]
-	}
+	vmulInto(r.dxb.Data[:len(grad.Data)], grad.Data, r.mask[:len(grad.Data)])
 	return r.dxb
 }
 
@@ -145,6 +140,9 @@ type Conv1D struct {
 	x        *Tensor
 	outT     int
 	out, dxb *Tensor
+
+	bX, bOut, bDx *batchT // batch-major path state (batch.go)
+	bOutT         int
 }
 
 // NewConv1D creates a 1-D convolution layer.
@@ -184,23 +182,77 @@ func (c *Conv1D) Forward(x *Tensor, train bool) *Tensor {
 	return c.out
 }
 
-// Backward accumulates dW, db and returns dx. Both weight and input
-// gradients are GEMMs over the same strided window view used by Forward;
-// dx rows overlap when Stride < Kernel, which the accumulate form of
-// GemmNN handles by adding in place.
+// conv1dBackward accumulates one sample's bias, weight, and input gradients
+// in a single pass over the nonzero entries of grad (gs: outT×out, xs/dxs:
+// the input series, dxs pre-zeroed or carrying earlier accumulation). Conv
+// gradients arrive pool/ReLU-sparse (~⅞ zeros), so one row-major scan that
+// drives all three updates beats three separate GEMM passes. Per gradient
+// element the adds happen in (t, o)-ascending order for every accumulator,
+// and skipping zero entries is exact: a gradient accumulator is never -0
+// (+0 + -0 rounds to +0), so acc += ±0 is always the identity.
+func conv1dBackward(gs, xs, dxs []float64, outT, out, kIn, strideIn int, wW, wG, bG []float64) {
+	if kIn == 8 {
+		// The paper net's first conv has kernel 8 over one channel; its
+		// per-nonzero updates are too short to amortize a kernel call, so
+		// unroll them inline (same per-element mul-then-add as axpy).
+		for t := 0; t < outT; t++ {
+			grow := gs[t*out : (t+1)*out]
+			base := t * strideIn
+			xwin := xs[base : base+8 : base+8]
+			dxwin := dxs[base : base+8 : base+8]
+			for o, gv := range grow {
+				if gv == 0 {
+					continue
+				}
+				bG[o] += gv
+				wg := wG[o*8 : o*8+8 : o*8+8]
+				ww := wW[o*8 : o*8+8 : o*8+8]
+				wg[0] += gv * xwin[0]
+				wg[1] += gv * xwin[1]
+				wg[2] += gv * xwin[2]
+				wg[3] += gv * xwin[3]
+				wg[4] += gv * xwin[4]
+				wg[5] += gv * xwin[5]
+				wg[6] += gv * xwin[6]
+				wg[7] += gv * xwin[7]
+				dxwin[0] += gv * ww[0]
+				dxwin[1] += gv * ww[1]
+				dxwin[2] += gv * ww[2]
+				dxwin[3] += gv * ww[3]
+				dxwin[4] += gv * ww[4]
+				dxwin[5] += gv * ww[5]
+				dxwin[6] += gv * ww[6]
+				dxwin[7] += gv * ww[7]
+			}
+		}
+		return
+	}
+	for t := 0; t < outT; t++ {
+		grow := gs[t*out : (t+1)*out]
+		base := t * strideIn
+		xwin := xs[base : base+kIn]
+		dxwin := dxs[base : base+kIn]
+		for o, gv := range grow {
+			if gv == 0 {
+				continue
+			}
+			bG[o] += gv
+			axpy(gv, xwin, wG[o*kIn:(o+1)*kIn])
+			axpy(gv, wW[o*kIn:(o+1)*kIn], dxwin)
+		}
+	}
+}
+
+// Backward accumulates dW, db and returns dx via the fused sparse scan;
+// dx windows overlap when Stride < Kernel, which the t-sequential
+// accumulation handles by adding in place.
 func (c *Conv1D) Backward(grad *Tensor) *Tensor {
 	c.dxb = ensure(c.dxb, c.x.Rows, c.x.Cols)
 	dx := c.dxb
 	zeroF(dx.Data)
 	kIn := c.Kernel * c.In
-	for t := 0; t < c.outT; t++ {
-		grow := grad.Row(t)
-		for o, g := range grow {
-			c.b.G[o] += g
-		}
-	}
-	gemmATB(c.outT, c.Out, kIn, grad.Data, c.Out, c.x.Data, c.Stride*c.In, c.w.G, kIn)
-	GemmNN(c.outT, kIn, c.Out, grad.Data, c.Out, c.w.W, kIn, dx.Data, c.Stride*c.In, true)
+	conv1dBackward(grad.Data, c.x.Data, dx.Data, c.outT, c.Out, kIn, c.Stride*c.In,
+		c.w.W, c.w.G, c.b.G)
 	return dx
 }
 
@@ -220,46 +272,23 @@ type MaxPool1D struct {
 	inT      int
 	cols     int
 	out, dxb *Tensor
+
+	bOut, bDx *batchT // batch-major path state (batch.go)
+	bArg      []int
+	bInT      int
 }
 
-// Forward takes the per-window per-channel maximum.
+// Forward takes the per-window per-channel maximum (vectorized value fold
+// plus argmax rescan, see maxPool1D).
 func (m *MaxPool1D) Forward(x *Tensor, train bool) *Tensor {
-	if m.Size <= 0 {
-		panic("ml: MaxPool1D size must be positive")
-	}
-	outT := x.Rows / m.Size
-	if outT == 0 {
-		outT = 1 // degenerate: single window over everything available
-	}
+	outT := m.poolOutT(x.Rows)
 	m.inT, m.cols = x.Rows, x.Cols
 	m.out = ensure(m.out, outT, x.Cols)
 	if cap(m.argmax) < outT*x.Cols {
 		m.argmax = make([]int, outT*x.Cols)
 	}
 	m.argmax = m.argmax[:outT*x.Cols]
-	for t := 0; t < outT; t++ {
-		lo := t * m.Size
-		hi := lo + m.Size
-		if hi > x.Rows || t == outT-1 {
-			hi = x.Rows
-		}
-		outRow := m.out.Row(t)
-		amRow := m.argmax[t*x.Cols : (t+1)*x.Cols]
-		// Seed from the first window row, then fold in the rest row-wise
-		// (contiguous scans instead of per-element strided indexing).
-		copy(outRow, x.Row(lo))
-		for c := range amRow {
-			amRow[c] = lo
-		}
-		for r := lo + 1; r < hi; r++ {
-			xRow := x.Row(r)
-			for c, v := range xRow {
-				if v > outRow[c] {
-					outRow[c], amRow[c] = v, r
-				}
-			}
-		}
-	}
+	maxPool1D(x.Data, x.Rows, x.Cols, m.Size, outT, m.out.Data, m.argmax)
 	return m.out
 }
 
@@ -294,6 +323,26 @@ type Dropout struct {
 	sample   uint64
 	mask     []float64
 	out, dxb *Tensor
+	rng      *sim.Stream // reusable mask stream, reseeded per sample
+
+	bOut, bDx *batchT // batch-major path state (batch.go)
+	bMask     []float64
+}
+
+// dropoutMaskHash is the name-hash of every dropout mask stream, hoisted so
+// maskStream can Reseed without rehashing the name per sample.
+var dropoutMaskHash = sim.NameHash("dropout-mask")
+
+// maskStream returns the layer's reusable stream positioned at the start of
+// the mask sequence for global sample n — the same sequence
+// sim.NewStream(seed^mix(n), "dropout-mask") yields, without the per-sample
+// allocation. The splitmix-style mix keeps per-sample streams decorrelated.
+func (d *Dropout) maskStream(n uint64) *sim.Stream {
+	if d.rng == nil {
+		d.rng = sim.NewStream(0, "dropout-mask")
+	}
+	d.rng.Reseed(d.seed^(n*0x9e3779b97f4a7c15+0x632be59bd9b4e019), dropoutMaskHash)
+	return d.rng
 }
 
 // NewDropout creates a dropout layer seeded from the given stream.
@@ -315,8 +364,7 @@ func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
 		copy(d.out.Data, x.Data)
 		return d.out
 	}
-	// splitmix-style mix keeps per-sample streams decorrelated.
-	rng := sim.NewStream(d.seed^(d.sample*0x9e3779b97f4a7c15+0x632be59bd9b4e019), "dropout-mask")
+	rng := d.maskStream(d.sample)
 	d.mask = growF(d.mask, len(x.Data))
 	scale := 1 / (1 - d.Rate)
 	for i, v := range x.Data {
@@ -338,9 +386,7 @@ func (d *Dropout) Backward(grad *Tensor) *Tensor {
 		copy(d.dxb.Data, grad.Data)
 		return d.dxb
 	}
-	for i, v := range grad.Data {
-		d.dxb.Data[i] = v * d.mask[i]
-	}
+	vmulInto(d.dxb.Data[:len(grad.Data)], grad.Data, d.mask[:len(grad.Data)])
 	return d.dxb
 }
 

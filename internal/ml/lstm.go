@@ -34,6 +34,15 @@ type LSTM struct {
 	dc    []float64
 	out   *Tensor
 	dxb   *Tensor
+
+	// Batch-major path state (batch.go): per-sample pre/gates/cells/hids
+	// matrices plus the batch's dh/dc recurrence state.
+	bX            *batchT
+	bT            int
+	bPre, bGates  []float64 // B × T × 4H
+	bCells, bHids []float64 // B × T × H
+	bDh, bDc      []float64 // B × H
+	bOut, bDx     *batchT
 }
 
 // NewLSTM creates an LSTM with Glorot-initialized weights and forget-gate

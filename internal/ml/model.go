@@ -126,13 +126,7 @@ func (a *Adam) Step(batchSize int) {
 		}
 	}
 	for pi, p := range a.params {
-		m, v := a.m[pi], a.v[pi]
-		for i := range p.W {
-			g := p.G[i]
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
-			p.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
-		}
+		adamStep(p.W, p.G, a.m[pi], a.v[pi], a.Beta1, a.Beta2, a.LR, a.Eps, bc1, bc2)
 		p.zeroGrad()
 	}
 }
@@ -181,7 +175,8 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	eng := newTrainEngine(s, par)
+	eng := newTrainEngine(s, par, X)
+	defer eng.close()
 	opt := NewAdam(s.Params(), cfg.LR)
 	rng := sim.NewStream(cfg.Seed, "fit")
 	order := make([]int, len(X))
@@ -192,7 +187,7 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 	// when observability is on; the per-epoch metric updates are single
 	// atomic adds against an epoch of GEMM work.
 	sp := obs.StartSpan(nil, "ml.fit")
-	sp.SetAttr("samples", len(X)).SetAttr("parallelism", par)
+	sp.SetAttr("samples", len(X)).SetAttr("parallelism", par).SetAttr("batched", eng.batched)
 	var losses []float64
 	var fitStart time.Time
 	if obs.On() {
@@ -224,7 +219,10 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 		}
 		valAcc := math.NaN()
 		if len(valX) > 0 {
-			valAcc = s.AccuracyParallel(valX, valY, par)
+			// Epoch validation rides the engine's persistent workers and
+			// replicas instead of re-replicating per epoch; the integer
+			// correct-count reduction matches AccuracyParallel exactly.
+			valAcc = eng.accuracy(valX, valY)
 			if valAcc > bestVal {
 				bestVal = valAcc
 				sinceBest = 0

@@ -15,6 +15,15 @@ var (
 		0.05, 0.1, 0.2, 0.5, 1, 2, 5)
 )
 
+// Handles for the training engine's batch dispatch. Each is one atomic add
+// per minibatch (a shard fan-out plus dozens of GEMMs), so the counters are
+// effectively free next to the work they count.
+var (
+	mTrainBatches        = obs.Default.Counter("ml.train.batches")
+	mTrainSamples        = obs.Default.Counter("ml.train.samples")
+	mTrainBatchedBatches = obs.Default.Counter("ml.train.batched_batches")
+)
+
 // Handles for the compiled-inference path. Batch/sample counters are one
 // atomic add per PredictBatch call or micro-batch (thousands of GEMM flops
 // each); the fused-kernel wall-clock counter needs time.Now() and is gated

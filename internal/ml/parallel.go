@@ -76,24 +76,61 @@ func (s *Sequential) forEachSampleWorker(n, workers int, fn func(model *Sequenti
 }
 
 // replicaState is one training worker: a weight-sharing model replica plus
-// its private parameter list, sample-aware layers, and loss-grad scratch.
+// its private parameter list, sample-aware layers, loss-grad scratch, and —
+// on the batched path — the shard's input/probability/label arenas.
 type replicaState struct {
 	seq     *Sequential
 	params  []*Param
 	samples []sampleAware
 	gbuf    *Tensor
+
+	// Batch-major path arenas, allocated once per Fit and reused for every
+	// shard this worker runs.
+	bLayers []batchLayer
+	bIn     *batchT
+	bGrad   *batchT
+	probs   []float64
+	labels  []int
+}
+
+// engTask is one unit of pool work: a gradient shard (train) or a
+// contiguous validation range (eval). It is a plain struct sent by value on
+// a buffered channel, so dispatching a batch allocates nothing.
+type engTask struct {
+	train      bool
+	si, S      int
+	X          []*Tensor
+	y          []int
+	batch      []int
+	sampleBase uint64
+	lo, hi     int // eval range
+	slot       int // eval result slot
 }
 
 // trainEngine runs data-parallel minibatch training: each batch splits into
 // maxGradShards fixed shards, workers process shards on replicas whose
 // gradient accumulators are rebound to per-shard buffers, and the buffers
 // reduce into the shared model parameters in shard order.
+//
+// The engine owns a persistent worker pool: one goroutine per replica,
+// started once per Fit and fed shard/eval tasks over a buffered channel, so
+// the per-batch cost is a WaitGroup add and S channel sends instead of
+// goroutine spawns and replica re-derivation. Fit must close() the engine
+// to release the workers.
 type trainEngine struct {
 	model     *Sequential
 	params    []*Param
 	replicas  []*replicaState
 	shardG    [][][]float64 // [shard][param][elem]
 	shardLoss [maxGradShards]float64
+
+	// batched selects the batch-major shard path (batch.go); decided once
+	// per Fit, before the workers start.
+	batched bool
+
+	tasks       chan engTask
+	wg          sync.WaitGroup
+	evalCorrect [maxGradShards]int
 
 	// serialDirect trains on the model itself in sample order when a
 	// foreign layer prevents replication.
@@ -102,7 +139,21 @@ type trainEngine struct {
 	gbuf         *Tensor
 }
 
-func newTrainEngine(s *Sequential, par int) *trainEngine {
+// uniformShape reports whether every tensor has X[0]'s shape — the
+// precondition for packing samples into one batch tensor.
+func uniformShape(X []*Tensor) bool {
+	for _, x := range X[1:] {
+		if x.Rows != X[0].Rows || x.Cols != X[0].Cols {
+			return false
+		}
+	}
+	return true
+}
+
+// newTrainEngine builds the engine for one Fit over X: replicas, per-shard
+// gradient buffers, the batched-vs-per-sample decision, and (when more than
+// one worker) the persistent pool.
+func newTrainEngine(s *Sequential, par int, X []*Tensor) *trainEngine {
 	e := &trainEngine{model: s, params: s.Params()}
 	if _, ok := s.replicate(); !ok {
 		e.serialDirect = true
@@ -116,6 +167,7 @@ func newTrainEngine(s *Sequential, par int) *trainEngine {
 			seq:     rep,
 			params:  rep.Params(),
 			samples: collectSampleAware(rep),
+			bLayers: batchLayers(rep),
 		})
 	}
 	for si := 0; si < maxGradShards; si++ {
@@ -125,7 +177,41 @@ func newTrainEngine(s *Sequential, par int) *trainEngine {
 		}
 		e.shardG = append(e.shardG, bufs)
 	}
+	e.batched = trainBatchedOn && len(X) > 0 && uniformShape(X) &&
+		e.replicas[0].bLayers != nil
+	if workers > 1 {
+		e.tasks = make(chan engTask, maxGradShards)
+		for _, r := range e.replicas {
+			// The channel is passed by value: close() nils e.tasks from the
+			// owner goroutine, so workers must not read the field.
+			go e.worker(r, e.tasks)
+		}
+	}
 	return e
+}
+
+// worker drains the task channel on one replica until close().
+func (e *trainEngine) worker(r *replicaState, tasks chan engTask) {
+	for t := range tasks {
+		if t.train {
+			if e.batched {
+				e.runShardBatched(r, t.si, t.S, t.X, t.y, t.batch, t.sampleBase)
+			} else {
+				e.runShard(r, t.si, t.S, t.X, t.y, t.batch, t.sampleBase)
+			}
+		} else {
+			e.runEval(r, t)
+		}
+		e.wg.Done()
+	}
+}
+
+// close releases the worker pool. The engine remains usable serially.
+func (e *trainEngine) close() {
+	if e.tasks != nil {
+		close(e.tasks)
+		e.tasks = nil
+	}
 }
 
 // trainBatch forward/backwards every sample of the batch (indices into X/y)
@@ -133,6 +219,8 @@ func newTrainEngine(s *Sequential, par int) *trainEngine {
 // summed loss. sampleBase is the epoch-order index of batch[0], used to key
 // per-sample randomness.
 func (e *trainEngine) trainBatch(X []*Tensor, y []int, batch []int, sampleBase uint64) float64 {
+	mTrainBatches.Inc()
+	mTrainSamples.Add(int64(len(batch)))
 	if e.serialDirect {
 		var loss float64
 		for bi, idx := range batch {
@@ -148,6 +236,9 @@ func (e *trainEngine) trainBatch(X []*Tensor, y []int, batch []int, sampleBase u
 		}
 		return loss
 	}
+	if e.batched {
+		mTrainBatchedBatches.Inc()
+	}
 	S := len(batch)
 	if S > maxGradShards {
 		S = maxGradShards
@@ -158,31 +249,21 @@ func (e *trainEngine) trainBatch(X []*Tensor, y []int, batch []int, sampleBase u
 			zeroF(e.shardG[si][pi])
 		}
 	}
-	if len(e.replicas) == 1 || S == 1 {
+	if e.tasks == nil || S == 1 {
+		r := e.replicas[0]
 		for si := 0; si < S; si++ {
-			e.runShard(e.replicas[0], si, S, X, y, batch, sampleBase)
+			if e.batched {
+				e.runShardBatched(r, si, S, X, y, batch, sampleBase)
+			} else {
+				e.runShard(r, si, S, X, y, batch, sampleBase)
+			}
 		}
 	} else {
-		workers := len(e.replicas)
-		if workers > S {
-			workers = S
-		}
-		ch := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(r *replicaState) {
-				defer wg.Done()
-				for si := range ch {
-					e.runShard(r, si, S, X, y, batch, sampleBase)
-				}
-			}(e.replicas[w])
-		}
+		e.wg.Add(S)
 		for si := 0; si < S; si++ {
-			ch <- si
+			e.tasks <- engTask{train: true, si: si, S: S, X: X, y: y, batch: batch, sampleBase: sampleBase}
 		}
-		close(ch)
-		wg.Wait()
+		e.wg.Wait()
 	}
 	var loss float64
 	for si := 0; si < S; si++ {
@@ -216,4 +297,105 @@ func (e *trainEngine) runShard(r *replicaState, si, S int, X []*Tensor, y []int,
 		r.seq.Backward(r.gbuf)
 	}
 	e.shardLoss[si] = loss
+}
+
+// runShardBatched trains replica r on shard si of S with the batch-major
+// path: the shard's samples pack into one batch tensor, one fused
+// forward/backward runs over the whole shard, and per-sample math inside
+// the batched layers keeps the per-sample engine's accumulation order — so
+// the shard gradients are bit-identical to runShard's.
+func (e *trainEngine) runShardBatched(r *replicaState, si, S int, X []*Tensor, y []int, batch []int, sampleBase uint64) {
+	lo, hi := si*len(batch)/S, (si+1)*len(batch)/S
+	for pi, p := range r.params {
+		p.G = e.shardG[si][pi]
+	}
+	B := hi - lo
+	ref := X[batch[lo]]
+	r.bIn = ensureB(r.bIn, B, ref.Rows, ref.Cols)
+	if cap(r.labels) < B {
+		r.labels = make([]int, B)
+	}
+	r.labels = r.labels[:B]
+	for s := 0; s < B; s++ {
+		copy(r.bIn.sample(s), X[batch[lo+s]].Data)
+		r.labels[s] = y[batch[lo+s]]
+	}
+	bx := r.bIn
+	base := sampleBase + uint64(lo)
+	for _, bl := range r.bLayers {
+		bx = bl.forwardBatch(bx, true, base)
+	}
+	r.probs = growF(r.probs, B*bx.Rows*bx.Cols)
+	r.bGrad = ensureB(r.bGrad, B, bx.Rows, bx.Cols)
+	loss := softmaxCEBatch(bx, r.labels, r.probs, r.bGrad)
+	g := r.bGrad
+	for i := len(r.bLayers) - 1; i >= 0; i-- {
+		g = r.bLayers[i].backwardBatch(g)
+	}
+	e.shardLoss[si] = loss
+}
+
+// accuracy evaluates top-1 accuracy on (X, y) using the engine's persistent
+// workers and replicas — Fit's epoch validation path. The correct-count
+// reduction is an integer sum, so the result equals AccuracyParallel for
+// every worker count.
+func (e *trainEngine) accuracy(X []*Tensor, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	evalOne := func(model *Sequential, i int) bool {
+		out := model.Forward(X[i], false)
+		best := 0
+		for c, v := range out.Data {
+			if v > out.Data[best] {
+				best = c
+			}
+		}
+		return best == y[i]
+	}
+	if e.tasks == nil {
+		model := e.model
+		if !e.serialDirect {
+			model = e.replicas[0].seq
+		}
+		correct := 0
+		for i := range X {
+			if evalOne(model, i) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(X))
+	}
+	W := len(e.replicas)
+	if W > len(X) {
+		W = len(X)
+	}
+	e.wg.Add(W)
+	for w := 0; w < W; w++ {
+		e.tasks <- engTask{X: X, y: y, lo: w * len(X) / W, hi: (w + 1) * len(X) / W, slot: w}
+	}
+	e.wg.Wait()
+	total := 0
+	for w := 0; w < W; w++ {
+		total += e.evalCorrect[w]
+	}
+	return float64(total) / float64(len(X))
+}
+
+// runEval scores an eval task's sample range on the worker's replica.
+func (e *trainEngine) runEval(r *replicaState, t engTask) {
+	correct := 0
+	for i := t.lo; i < t.hi; i++ {
+		out := r.seq.Forward(t.X[i], false)
+		best := 0
+		for c, v := range out.Data {
+			if v > out.Data[best] {
+				best = c
+			}
+		}
+		if best == t.y[i] {
+			correct++
+		}
+	}
+	e.evalCorrect[t.slot] = correct
 }

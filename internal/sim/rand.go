@@ -12,21 +12,36 @@ import (
 // perturbs the random sequence observed by another.
 type Stream struct {
 	rng *rand.Rand
+	pcg *rand.PCG
+}
+
+// NameHash returns the FNV-64a hash NewStream applies to a stream name,
+// for callers that Reseed a stream repeatedly under one fixed name.
+func NameHash(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // NewStream derives a stream from a root seed and a name.
 func NewStream(seed uint64, name string) *Stream {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return &Stream{rng: rand.New(rand.NewPCG(seed, h.Sum64()))}
+	pcg := rand.NewPCG(seed, NameHash(name))
+	return &Stream{rng: rand.New(pcg), pcg: pcg}
 }
 
 // Fork derives a child stream; the child's sequence is independent of
 // subsequent draws from the parent.
 func (s *Stream) Fork(name string) *Stream {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return &Stream{rng: rand.New(rand.NewPCG(s.rng.Uint64(), h.Sum64()))}
+	pcg := rand.NewPCG(s.rng.Uint64(), NameHash(name))
+	return &Stream{rng: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the stream in place to the exact sequence
+// NewStream(seed, name) would produce, where nameHash = NameHash(name).
+// It exists so per-sample mask generation (thousands of short-lived
+// streams per epoch) can reuse one Stream instead of allocating.
+func (s *Stream) Reseed(seed, nameHash uint64) {
+	s.pcg.Seed(seed, nameHash)
 }
 
 // Float64 returns a uniform value in [0, 1).
