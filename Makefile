@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke check-infer-equivalence check-train-equivalence bench-smoke bench-obs smoke-obs ci clean
+.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke check-infer-equivalence check-int8-agreement check-train-equivalence bench-smoke bench-obs smoke-obs ci clean
 
 # Run directory for benchmark artifacts. Every bench target drops all of its
 # outputs — profiles and the machine-readable JSON from cmd/benchjson — into
@@ -70,12 +70,36 @@ bench-infer: | $(OUTDIR)
 bench-infer-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkPredictBatch|BenchmarkGemm32Kernel' -benchtime 1x . ./internal/ml
 
+# Quantized inference tier: the int8 PredictBatch leg measured back to back
+# with the f32 compiled leg it is gated against (≥2× in EXPERIMENTS.md),
+# plus the int8 kernel microbenchmarks. BENCH_infer_int8.json at the repo
+# root is the committed baseline; the compiled leg rides along so the pair
+# is always from one run on one machine.
+bench-infer-int8: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkPredictBatch|BenchmarkQ8' -benchmem . ./internal/ml \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_infer_int8.json
+
+# One-iteration pass over the int8 benchmarks: catches bit-rot in the
+# quantized path's benchmark plumbing without paying for stable timings.
+bench-infer-int8-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkPredictBatch/int8|BenchmarkQ8' -benchtime 1x . ./internal/ml
+
 # The compiled inference path must agree (argmax per trace) with the float64
 # reference on every golden scenario. Run narrowly with -v and grep for the
 # PASS line: a skipped test prints no PASS, so silent skips fail ci too.
 check-infer-equivalence:
 	$(GO) test -run 'TestCompiledReferenceEquivalence' -v ./internal/core \
 		| grep -- '--- PASS: TestCompiledReferenceEquivalence'
+
+# The int8 tier's two correctness gates, with the same grep discipline:
+# the AVX2 kernels must be bit-identical to their scalar twins, and the
+# quantized tier's argmax decisions must agree with the f64 reference on
+# ≥99% of golden-grid traces (the rate itself is asserted inside the test).
+check-int8-agreement:
+	$(GO) test -run 'TestInt8KernelsBitIdentical' -v ./internal/ml \
+		| grep -- '--- PASS: TestInt8KernelsBitIdentical'
+	$(GO) test -run 'TestInt8ReferenceAgreementRate' -v ./internal/core \
+		| grep -- '--- PASS: TestInt8ReferenceAgreementRate'
 
 # The batch-major training engine must produce bit-identical trained weights
 # to the per-sample reference at every Parallelism. Same grep discipline as
@@ -102,7 +126,7 @@ smoke-obs:
 	grep -q '"scenario": "bgnoise/quiet"' smoke-obs-out/run.json
 	rm -rf smoke-obs-out
 
-ci: build vet test race bench-smoke bench-infer-smoke bench-train-smoke check-infer-equivalence check-train-equivalence smoke-obs
+ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke check-infer-equivalence check-int8-agreement check-train-equivalence smoke-obs
 
 clean:
 	$(GO) clean

@@ -381,6 +381,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 	}
 	b.Run("reference", func(b *testing.B) {
 		b.SetBytes(bytesPerOp)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			model.PredictBatch(X, 0)
 		}
@@ -398,8 +399,31 @@ func BenchmarkPredictBatch(b *testing.B) {
 		cm.PredictBatchInto(X, 0, out) // warm the scratch arena
 		b.ResetTimer()
 		b.SetBytes(bytesPerOp)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cm.PredictBatchInto(X, 0, out)
+		}
+		b.ReportMetric(rate(b), "samples/sec")
+	})
+	b.Run("int8", func(b *testing.B) {
+		cm, err := ml.Compile(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qm, err := ml.Quantize(cm, X[:32])
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([][]float64, batch)
+		for i := range out {
+			out[i] = make([]float64, classes)
+		}
+		qm.PredictBatchInto(X, 0, out) // warm the scratch arena
+		b.ResetTimer()
+		b.SetBytes(bytesPerOp)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qm.PredictBatchInto(X, 0, out)
 		}
 		b.ReportMetric(rate(b), "samples/sec")
 	})

@@ -50,7 +50,7 @@ func run() int {
 	cells := flag.Int("cells", 0, "max experiment cells in flight (0 = unbounded; compute stays CPU-bounded)")
 	dsCacheCap := flag.Int("dscache", 8, "datasets retained by the in-process collection cache (0 disables)")
 	clf := flag.String("clf", "", "classifier for all experiments: centroid (default), knn, logreg, cnn")
-	infer := flag.String("infer", "compiled", "inference engine for trained models: compiled (frozen f32 fast path) or reference (f64 training graph)")
+	infer := flag.String("infer", "compiled", "inference engine for trained models: compiled (frozen f32 fast path), int8 (quantized tier, falls back to compiled per model), or reference (f64 training graph)")
 	inferPar := flag.Int("inferpar", 0, "intra-op workers for compiled inference GEMMs (0 = GOMAXPROCS); output is identical for every value")
 	trainBatch := flag.String("trainbatch", "on", "training engine for gradient-trained classifiers: on (batch-major fast path) or off (per-sample reference); trained weights are bit-identical either way")
 	obsOn := flag.Bool("obs", false, "enable the observability layer (metrics + span tracing)")

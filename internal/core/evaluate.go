@@ -62,17 +62,21 @@ func ClassifierByName(name string) (ClassifierMaker, error) {
 // ConfigureInference selects the inference engine for gradient-trained
 // classifiers and its intra-op worker count, mirroring cmd/experiments'
 // -infer/-inferpar flags. mode "" or "compiled" uses the frozen float32
-// fast path (argmax-equivalent to the reference — see DESIGN.md);
-// "reference" forces the float64 training-graph forward pass. par ≤ 0 means
-// GOMAXPROCS. Not safe to call concurrently with running experiments.
+// fast path (argmax-equivalent to the reference — see DESIGN.md); "int8"
+// uses the quantized tier (falling back through compiled when a model
+// doesn't quantize — see DESIGN.md "Quantized inference"); "reference"
+// forces the float64 training-graph forward pass. par ≤ 0 means GOMAXPROCS.
+// The underlying knobs are atomic, so reconfiguring mid-run is safe.
 func ConfigureInference(mode string, par int) error {
 	switch mode {
 	case "", "compiled":
-		ml.SetInferCompiled(true)
+		ml.SetInferTier(ml.TierCompiled)
+	case "int8":
+		ml.SetInferTier(ml.TierInt8)
 	case "reference":
-		ml.SetInferCompiled(false)
+		ml.SetInferTier(ml.TierReference)
 	default:
-		return fmt.Errorf("core: unknown inference mode %q (want compiled or reference)", mode)
+		return fmt.Errorf("core: unknown inference mode %q (want compiled, int8, or reference)", mode)
 	}
 	ml.SetInferParallelism(par)
 	return nil

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// TestInt8ReferenceAgreementRate is the pipeline-level acceptance gate for
+// the int8 quantized tier: across every golden-grid dataset and trained
+// classifier, argmax decisions scored through the quantized tier must agree
+// with the float64 reference on at least 99% of traces in aggregate, at
+// serial and parallel intra-op worker counts. Unlike the compiled f32 gate
+// (exact equivalence), quantization is lossy by design, so this gate is a
+// measured rate — logged exactly — rather than a per-trace assertion.
+// make ci greps for this test's PASS line, so it must never be skipped.
+func TestInt8ReferenceAgreementRate(t *testing.T) {
+	wasTier := ml.ActiveInferTier()
+	wasPar := ml.InferParallelism()
+	defer func() {
+		ml.SetInferTier(wasTier)
+		ml.SetInferParallelism(wasPar)
+	}()
+
+	total, agree := 0, 0
+	for _, scn := range goldenGrid() {
+		ds, err := collectDatasetForTest(scn, goldenScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values := make([][]float64, len(ds.Traces))
+		for i, tr := range ds.Traces {
+			values[i] = tr.Values
+		}
+		clfs := map[string]ml.Classifier{
+			"logreg": &ml.LogReg{Prep: ml.DefaultPreprocessor, Seed: goldenScale.Seed},
+			"cnn-lstm": &ml.CNNLSTM{Prep: ml.DefaultPreprocessor, Seed: goldenScale.Seed,
+				Filters: 4, Hidden: 4, Epochs: 2},
+		}
+		for name, clf := range clfs {
+			if err := clf.Fit(ds); err != nil {
+				// Mirrors the compiled gate: short golden traces can refuse
+				// the CNN at training time in every inference mode; logreg
+				// trains on every dataset, so the gate is never vacuous.
+				if name == "logreg" {
+					t.Fatalf("logreg: Fit: %v", err)
+				}
+				t.Logf("%s/%s: Fit: %v (excluded from rate)", scn.Name, name, err)
+				continue
+			}
+			bs, ok := clf.(ml.BatchScorer)
+			if !ok {
+				t.Fatalf("%s does not implement BatchScorer", name)
+			}
+			ml.SetInferTier(ml.TierReference)
+			refTop := scoreArgmax(bs.ScoresBatch(values))
+
+			ml.SetInferTier(ml.TierInt8)
+			for _, par := range []int{1, runtime.NumCPU()} {
+				ml.SetInferParallelism(par)
+				gotTop := scoreArgmax(bs.ScoresBatch(values))
+				for i := range refTop {
+					total++
+					if gotTop[i] == refTop[i] {
+						agree++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("agreement gate scored zero traces")
+	}
+	rate := float64(agree) / float64(total)
+	t.Logf("int8 vs f64 reference argmax agreement: %d/%d = %.4f (gate 0.99)",
+		agree, total, rate)
+	if rate < 0.99 {
+		t.Fatalf("int8 argmax agreement %.4f < 0.99 (%d/%d)", rate, agree, total)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ml"
 	"repro/internal/obs"
 )
 
@@ -66,6 +67,10 @@ func ProgressLine() string {
 	if tr := cTrimmed.Value(); tr > 0 {
 		line += fmt.Sprintf(" | trimmed %d", tr)
 	}
+	line += " | infer " + ml.ActiveInferTier().String()
+	if par := ml.InferParallelism(); par > 0 {
+		line += fmt.Sprintf("/p%d", par)
+	}
 	return line
 }
 
@@ -110,6 +115,12 @@ func ManifestSections(wall time.Duration) map[string]any {
 			"traces":          cTraces.Value(),
 			"trimmed_samples": cTrimmed.Value(),
 			"folds":           cFolds.Value(),
+		},
+		// The configured tier; per-call fallbacks (models that fail to
+		// compile or quantize) show up in the ml.infer.cache.* counters.
+		"inference": map[string]any{
+			"tier":        ml.ActiveInferTier().String(),
+			"parallelism": ml.InferParallelism(),
 		},
 	}
 }

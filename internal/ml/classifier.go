@@ -219,7 +219,7 @@ func (lr *LogReg) Fit(train *trace.Dataset) error {
 		y = append(y, t.Label)
 	}
 	lr.inLen = X[0].Rows
-	lr.cc = compiledCache{}
+	lr.cc.setCalib(X[:min(len(X), q8CalibMax)])
 	rng := newSeedStream(lr.Seed, "logreg")
 	lr.model = &Sequential{Layers: []Layer{NewDense(rng, lr.inLen, train.NumClasses)}}
 	return lr.model.Fit(X, y, nil, nil, FitConfig{
@@ -300,7 +300,6 @@ func (c *CNNLSTM) Fit(train *trace.Dataset) error {
 		y = append(y, t.Label)
 	}
 	c.inLen = X[0].Rows
-	c.cc = compiledCache{}
 	model, err := PaperNet(c.Seed, c.inLen, train.NumClasses, c.Filters, c.Hidden, c.Dropout)
 	if err != nil {
 		return err
@@ -324,6 +323,13 @@ func (c *CNNLSTM) Fit(train *trace.Dataset) error {
 			trY = append(trY, y[j])
 		}
 	}
+	// Calibrate quantization on the held-out split where one exists: scale
+	// estimates from data the weights never fit generalize a shade better.
+	calib := vaX
+	if len(calib) == 0 {
+		calib = trX
+	}
+	c.cc.setCalib(calib[:min(len(calib), q8CalibMax)])
 	return c.model.Fit(trX, trY, vaX, vaY, FitConfig{
 		Epochs: c.Epochs, BatchSize: 16, LR: c.LR,
 		Patience: 4, MinEpochs: 8, Seed: c.Seed,
@@ -349,11 +355,13 @@ func (c *CNNLSTM) ScoresBatch(values [][]float64) [][]float64 {
 }
 
 // predictPrepped preprocesses every trace (padding/trimming to the trained
-// input length) and scores them: through the frozen CompiledModel when
-// compiled inference is on and the model compiles (cached per fit via cc),
-// otherwise through the float64 reference PredictBatch. par is the
-// reference path's sample-parallel worker count; the compiled path uses
-// the intra-op worker count from SetInferParallelism.
+// input length) and scores them through the active inference tier, falling
+// back one tier at a time when an artifact is unavailable: int8 needs the
+// model to both compile and quantize (calibration recorded at fit time),
+// compiled needs Compile to succeed, and the float64 reference path always
+// works. Artifacts are cached per fit generation in cc. par is the
+// reference path's sample-parallel worker count; the fast tiers use the
+// intra-op worker count from SetInferParallelism.
 func predictPrepped(model *Sequential, cc *compiledCache, prep Preprocessor, inLen int, values [][]float64, par int) [][]float64 {
 	X := make([]*Tensor, len(values))
 	for i, raw := range values {
@@ -365,10 +373,18 @@ func predictPrepped(model *Sequential, cc *compiledCache, prep Preprocessor, inL
 		}
 		X[i] = FromSeries(v)
 	}
-	if inferCompiledOn && cc != nil {
-		if cm := cc.get(model); cm != nil {
-			return cm.PredictBatch(X, inferPar)
+	tier := ActiveInferTier()
+	if cc != nil && tier >= TierInt8 {
+		if qm := cc.getQuantized(model); qm != nil {
+			return qm.PredictBatch(X, InferParallelism())
 		}
+		cInferFallbacks.Inc()
+	}
+	if cc != nil && tier >= TierCompiled {
+		if cm := cc.get(model); cm != nil {
+			return cm.PredictBatch(X, InferParallelism())
+		}
+		cInferFallbacks.Inc()
 	}
 	return model.PredictBatch(X, par)
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -47,6 +48,11 @@ type inferScratch struct {
 	bufs   [][]float32
 	batch  []float32
 	logits []float32
+	// Quantized stages additionally keep u8 activation buffers and i32
+	// row-mapping arrays here (two slots per stage), so the int8 tier
+	// inherits the same zero-alloc warm contract.
+	qbufs [][]byte
+	ibufs [][]int32
 }
 
 // buf returns scratch slot s grown to n elements (contents unspecified).
@@ -56,6 +62,24 @@ func (sc *inferScratch) buf(s, n int) []float32 {
 	}
 	sc.bufs[s] = growF32(sc.bufs[s], n)
 	return sc.bufs[s]
+}
+
+// qbuf returns u8 scratch slot s grown to n bytes (contents unspecified).
+func (sc *inferScratch) qbuf(s, n int) []byte {
+	for len(sc.qbufs) <= s {
+		sc.qbufs = append(sc.qbufs, nil)
+	}
+	sc.qbufs[s] = growU8(sc.qbufs[s], n)
+	return sc.qbufs[s]
+}
+
+// ibuf returns i32 scratch slot s grown to n elements (contents unspecified).
+func (sc *inferScratch) ibuf(s, n int) []int32 {
+	for len(sc.ibufs) <= s {
+		sc.ibufs = append(sc.ibufs, nil)
+	}
+	sc.ibufs[s] = growI32(sc.ibufs[s], n)
+	return sc.ibufs[s]
 }
 
 // CompiledModel is the frozen inference form of a Sequential: an immutable
@@ -541,39 +565,116 @@ func (st *denseStage) forward(sc *inferScratch, si int, x []float32, rows, cols,
 	return y, 1, st.out
 }
 
-// Inference-mode selection for the classifier layer (LogReg, CNNLSTM):
-// compiled is the default; the reference float64 path remains available
-// for equivalence gating and debugging (cmd/experiments -infer=reference).
-// Like SetDefaultClassifier, these are not safe to call concurrently with
-// running experiments.
-var (
-	inferCompiledOn = true
-	inferPar        = 0
+// InferTier selects how the classifier layer (LogReg, CNNLSTM) scores
+// batches: the float64 reference path, the compiled f32 fast path, or the
+// int8 quantized tier (which falls back through compiled to reference when
+// quantization is unavailable for a model).
+type InferTier int32
+
+const (
+	TierReference InferTier = iota
+	TierCompiled
+	TierInt8
 )
 
-// SetInferCompiled selects between the compiled fast path (true, default)
-// and the float64 reference path for classifier batch scoring.
-func SetInferCompiled(on bool) { inferCompiledOn = on }
+// String names the tier as run manifests and -infer flags spell it.
+func (t InferTier) String() string {
+	switch t {
+	case TierReference:
+		return "reference"
+	case TierCompiled:
+		return "compiled"
+	case TierInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("tier(%d)", int32(t))
+}
 
-// InferCompiledEnabled reports whether the compiled fast path is active.
-func InferCompiledEnabled() bool { return inferCompiledOn }
+// Inference-mode selection. Both knobs are atomics: flipping them while
+// experiments are scoring is safe (each PredictBatch call reads a coherent
+// snapshot) — the TestInferKnobsRaceSafe contract.
+var (
+	inferTier atomic.Int32
+	inferPar  atomic.Int32
+)
+
+func init() { inferTier.Store(int32(TierCompiled)) }
+
+// SetInferTier selects the inference tier for classifier batch scoring.
+func SetInferTier(t InferTier) { inferTier.Store(int32(t)) }
+
+// ActiveInferTier returns the configured inference tier.
+func ActiveInferTier() InferTier { return InferTier(inferTier.Load()) }
+
+// SetInferCompiled selects between the compiled fast path (true, default)
+// and the float64 reference path — the pre-tier API, kept for callers that
+// only toggle the f32 path.
+func SetInferCompiled(on bool) {
+	if on {
+		SetInferTier(TierCompiled)
+	} else {
+		SetInferTier(TierReference)
+	}
+}
+
+// InferCompiledEnabled reports whether a fast (non-reference) tier is
+// active.
+func InferCompiledEnabled() bool { return ActiveInferTier() != TierReference }
 
 // SetInferParallelism sets the intra-op GEMM worker count used by compiled
 // inference (0 = GOMAXPROCS). Results are bit-identical for every value.
-func SetInferParallelism(par int) { inferPar = par }
+func SetInferParallelism(par int) { inferPar.Store(int32(par)) }
 
 // InferParallelism returns the configured intra-op worker count.
-func InferParallelism() int { return inferPar }
+func InferParallelism() int { return int(inferPar.Load()) }
 
-// compiledCache lazily compiles a trained model once per fit, remembering
-// failure so unsupported models pay the Compile attempt only once before
-// falling back to the reference path.
+// compiledCache lazily freezes a trained model into its fast inference
+// forms — compiled f32, and int8 on top of it — once per (model, fit
+// generation), remembering failures so unsupported models pay each build
+// attempt only once before falling back a tier. calib survives rebuilds:
+// it is raw preprocessed input, not activations, so a re-fit re-calibrates
+// against the new weights automatically. The mutex makes concurrent
+// classifier scoring safe; the artifacts themselves are immutable.
 type compiledCache struct {
-	cm     *CompiledModel
-	failed bool
+	mu      sync.Mutex
+	model   *Sequential
+	gen     uint64
+	calib   []*Tensor
+	cm      *CompiledModel
+	failed  bool
+	qm      *QuantizedModel
+	qfailed bool
 }
 
-func (cc *compiledCache) get(model *Sequential) *CompiledModel {
+// reset discards frozen artifacts and rebinds the cache to (model, gen).
+// Callers hold cc.mu (so the mutex itself must survive the reset).
+func (cc *compiledCache) reset(model *Sequential, gen uint64) {
+	cc.model, cc.gen = model, gen
+	cc.cm, cc.failed = nil, false
+	cc.qm, cc.qfailed = nil, false
+}
+
+// setCalib records the quantization calibration sample (a small slice of
+// the fit's preprocessed training tensors) and resets any frozen artifacts.
+func (cc *compiledCache) setCalib(calib []*Tensor) {
+	cc.mu.Lock()
+	cc.reset(nil, 0)
+	cc.calib = calib
+	cc.mu.Unlock()
+}
+
+// sync discards stale artifacts when the model pointer or its fit
+// generation moved; the calibration sample survives (it is raw input, not
+// activations). Callers hold cc.mu.
+func (cc *compiledCache) sync(model *Sequential) {
+	if cc.model != model || cc.gen != model.gen {
+		cc.reset(model, model.gen)
+	}
+}
+
+// compiledLocked returns the f32 compiled model, building it on first use.
+// Callers hold cc.mu.
+func (cc *compiledCache) compiledLocked(model *Sequential) *CompiledModel {
 	if cc.cm == nil && !cc.failed {
 		cm, err := Compile(model)
 		if err != nil {
@@ -583,4 +684,52 @@ func (cc *compiledCache) get(model *Sequential) *CompiledModel {
 		cc.cm = cm
 	}
 	return cc.cm
+}
+
+// get returns the compiled model for the current fit. Hits count artifacts
+// served from cache; misses count first-use builds; a remembered failure
+// counts neither (the caller's fallback increments cInferFallbacks).
+func (cc *compiledCache) get(model *Sequential) *CompiledModel {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.sync(model)
+	if cc.cm != nil {
+		cInferCacheHits.Inc()
+		return cc.cm
+	}
+	if cc.failed {
+		return nil
+	}
+	cInferCacheMisses.Inc()
+	return cc.compiledLocked(model)
+}
+
+// getQuantized returns the int8 model for the current fit, building the
+// compiled form first when needed. Returns nil — callers fall back to
+// get — when the model doesn't compile, no calibration sample was
+// recorded, or quantization fails (degenerate activation ranges).
+func (cc *compiledCache) getQuantized(model *Sequential) *QuantizedModel {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.sync(model)
+	if cc.qm != nil {
+		cInferCacheHits.Inc()
+		return cc.qm
+	}
+	if cc.qfailed {
+		return nil
+	}
+	cInferCacheMisses.Inc()
+	cm := cc.compiledLocked(model)
+	if cm == nil {
+		cc.qfailed = true
+		return nil
+	}
+	qm, err := Quantize(cm, cc.calib)
+	if err != nil {
+		cc.qfailed = true
+		return nil
+	}
+	cc.qm = qm
+	return qm
 }

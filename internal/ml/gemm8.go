@@ -1,0 +1,225 @@
+package ml
+
+import "math"
+
+// Int8 inference kernels: the u8×s8 quantized tier below the f32 compiled
+// path. Activations are quantized to unsigned 8-bit with a fixed zero point
+// (q8Zp) and a per-tensor scale; weights are signed 7-bit (|w| ≤ q8WMax)
+// with per-output-channel scales. The AVX2 kernel multiplies u8×s8 pairs
+// with VPMADDUBSW, widens to i32 with VPMADDWD, and accumulates in i32.
+//
+// Saturation argument: VPMADDUBSW saturates its i16 pair sums, which would
+// break the scalar/asm bit-identity contract — so weights are clamped to
+// ±q8WMax = ±63 at quantization time. The worst pair sum is then
+// 2·255·63 = 32130 < 32767: saturation is unreachable, every intermediate
+// is exact integer arithmetic, and the scalar twin is a plain sum. i32
+// accumulator overflow needs |Σ q·w| ≥ 2³¹, i.e. k ≥ 2³¹/(255·63) ≈ 133k;
+// Quantize rejects reductions over q8MaxK long before that.
+//
+// Bit-identity contract (TestInt8KernelsBitIdentical): with useInt8 on, the
+// AVX2 kernels produce bitwise the results of the scalar twins below — the
+// integer part is exact by the saturation argument, and the f32 dequantize
+// epilogue uses the same mul-then-add, clamp, and merge operation order on
+// both sides (no FMA contraction anywhere).
+
+const (
+	// q8Zp is the fixed activation zero point: u8 128 represents 0.0.
+	q8Zp = 128
+	// q8WMax is the weight clamp (7-bit symmetric): see saturation argument.
+	q8WMax = 63
+	// q8ActMax is the activation magnitude target: calibration absmax maps
+	// to ±q8ActMax around the zero point.
+	q8ActMax = 127
+	// q8KChunk is the kernel's k-step in bytes (one YMM of u8 values);
+	// packed weight rows and quantized activation windows are padded to a
+	// multiple of it with zeros.
+	q8KChunk = 32
+	// q8MaxK bounds the padded reduction length so the i32 accumulator
+	// cannot wrap (conservative: 2³¹/(255·63) ≈ 133k).
+	q8MaxK = 1 << 16
+)
+
+// useInt8 gates the AVX2 int8 kernels; set on amd64 from the same
+// CPUID+XGETBV probe as useFMA (see gemm8_amd64.go).
+var useInt8 bool
+
+const (
+	// q8Magic implements round-to-nearest-even f32→int via the float
+	// representation trick: for |t| ≤ 2²⁰, (t + 1.5·2²³) rounds t at ulp 1
+	// and the low mantissa bits are the biased integer. Matches
+	// VCVTPS2DQ's rounding exactly.
+	q8Magic     = float32(12582912) // 1.5·2²³
+	q8MagicBits = int32(0x4B400000)
+	// q8ClampAbs bounds t before conversion so VCVTPS2DQ can never produce
+	// the integer-indefinite value (0x80000000), which the magic trick does
+	// not reproduce; NaN also clamps here (to -q8ClampAbs).
+	q8ClampAbs = float32(1 << 20)
+)
+
+// quantizeU8Scalar is the reference activation quantizer:
+// q[i] = clamp(rne(x[i]·inv) + q8Zp, 0, 255), with non-finite inputs
+// clamped before conversion (NaN → -q8ClampAbs, matching the AVX2 kernel's
+// VMAXPS/VMINPS operand order).
+func quantizeU8Scalar(x []float32, inv float32, q []byte) {
+	for i, v := range x {
+		t := v * inv
+		if !(t > -q8ClampAbs) { // also catches NaN
+			t = -q8ClampAbs
+		}
+		if t > q8ClampAbs {
+			t = q8ClampAbs
+		}
+		r := int32(math.Float32bits(t+q8Magic)) - q8MagicBits + q8Zp
+		if r < 0 {
+			r = 0
+		} else if r > 255 {
+			r = 255
+		}
+		q[i] = byte(r)
+	}
+}
+
+// quantizeU8 quantizes x into q (len(q) ≥ len(x)): the AVX2 kernel covers
+// the 32-wide body, the scalar twin the tail — bit-identical by contract.
+func quantizeU8(x []float32, inv float32, q []byte) {
+	if len(q) < len(x) {
+		panic("ml: quantizeU8: dst shorter than src")
+	}
+	n := 0
+	if useInt8 {
+		n = len(x) &^ (q8KChunk - 1)
+		if n > 0 {
+			quantizeU8AVX(n, inv, &x[0], &q[0])
+		}
+	}
+	quantizeU8Scalar(x[n:], inv, q[n:])
+}
+
+// q8Args is the argument block for gemmQ8FusedAVX. Field order and sizes
+// are load-bearing: the assembly addresses fields by byte offset (rows=0,
+// quads=8, kb=16, xs=24, a=32, w=40, corr=48, scale=56, bias=64, dstOff=72,
+// dst=80, dstW=88, floor=96, addMerge=100, tailMask=104, tailLive=112).
+type q8Args struct {
+	rows     int64
+	quads    int64
+	kb       int64
+	xs       int64
+	a        *byte
+	w        *int8
+	corr     *int32
+	scale    *float32
+	bias     *float32
+	dstOff   *int32
+	dst      *float32
+	dstW     int64
+	floor    float32
+	addMerge int32
+	tailMask *int32
+	tailLive int64
+}
+
+// gemmQ8FusedScalar is the reference for the fused int8 GEMM: rows windows
+// of quantized activations (stride xs bytes, kb·32 bytes each) against
+// quads×4 packed s8 weight rows, i32 accumulation, then the f32 dequantize
+// epilogue v = f32(acc−corr[o])·scale[o] + bias[o] merged into
+// dst[dstOff[i] + o] — max-merge with a floor clamp (the fused
+// ReLU+MaxPool store) or add-merge (the LSTM recurrent term). Only
+// tailLive of the last quad's 4 channels are written. The epilogue is
+// mul-then-add in f32 (no FMA), mirroring the asm's VMULPS+VADDPS.
+func gemmQ8FusedScalar(rows, quads, kb, xs int, a []byte, w []int8,
+	corr []int32, scale, bias []float32, dstOff []int32, dst []float32,
+	dstW int, floor float32, addMerge bool, tailLive int) {
+	kPad := kb * q8KChunk
+	for i := 0; i < rows; i++ {
+		win := a[i*xs : i*xs+kPad]
+		drow := dst[int(dstOff[i]):]
+		for qd := 0; qd < quads; qd++ {
+			live := 4
+			if qd == quads-1 {
+				live = tailLive
+			}
+			for j := 0; j < live; j++ {
+				o := qd*4 + j
+				wrow := w[o*kPad : o*kPad+kPad]
+				var acc int32
+				for p, av := range win {
+					acc += int32(av) * int32(wrow[p])
+				}
+				v := float32(acc-corr[o]) * scale[o]
+				v += bias[o]
+				if addMerge {
+					drow[o] += v
+				} else {
+					if v < floor {
+						v = floor
+					}
+					if v > drow[o] {
+						drow[o] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmQ8Fused dispatches the fused int8 GEMM to the AVX2 kernel or its
+// scalar twin. a must have (rows−1)·xs + kb·32 readable bytes (quantized
+// buffers carry q8KChunk bytes of slack so strided windows may overread
+// into zero-weighted padding); w holds quads·4 rows of kb·32 bytes.
+// dstOff[i] is the float-element offset of window i's dst row start (the
+// producer bakes in the ·dstW stride), which keeps the kernel's epilogue
+// free of a per-(quad,row) multiply; dstW is retained for the scalar
+// twin's doc contract and callers that size dst from it.
+func gemmQ8Fused(rows, quads, kb, xs int, a []byte, w []int8,
+	corr []int32, scale, bias []float32, dstOff []int32, dst []float32,
+	dstW int, floor float32, addMerge bool, tailLive int) {
+	if rows <= 0 || quads <= 0 {
+		return
+	}
+	if tailLive < 1 || tailLive > 4 {
+		panic("ml: gemmQ8Fused: tailLive out of range")
+	}
+	kPad := kb * q8KChunk
+	_ = a[(rows-1)*xs+kPad-1]
+	_ = w[quads*4*kPad-1]
+	_ = corr[quads*4-1]
+	_ = scale[quads*4-1]
+	_ = bias[quads*4-1]
+	_ = dstOff[rows-1]
+	if useInt8 {
+		am := int32(0)
+		if addMerge {
+			am = 1
+		}
+		p := q8Args{
+			rows: int64(rows), quads: int64(quads), kb: int64(kb), xs: int64(xs),
+			a: &a[0], w: &w[0], corr: &corr[0], scale: &scale[0], bias: &bias[0],
+			dstOff: &dstOff[0], dst: &dst[0], dstW: int64(dstW),
+			floor: floor, addMerge: am, tailMask: &maskTab[tailLive][0],
+			tailLive: int64(tailLive),
+		}
+		gemmQ8FusedAVX(&p)
+		return
+	}
+	gemmQ8FusedScalar(rows, quads, kb, xs, a, w, corr, scale, bias,
+		dstOff, dst, dstW, floor, addMerge, tailLive)
+}
+
+// growU8 grows a byte scratch slice to n elements (contents unspecified).
+func growU8(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}
+
+// growI32 grows an int32 scratch slice to n elements (contents unspecified).
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// pad32 rounds n up to a multiple of q8KChunk.
+func pad32(n int) int { return (n + q8KChunk - 1) &^ (q8KChunk - 1) }

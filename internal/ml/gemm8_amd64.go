@@ -1,0 +1,37 @@
+//go:build amd64
+
+package ml
+
+// quantizeU8AVX quantizes n32 floats (n32 a positive multiple of 32) into
+// u8: scale by inv, clamp to ±q8ClampAbs (NaN → -q8ClampAbs), VCVTPS2DQ
+// round-to-nearest-even, add the q8Zp zero point, and pack with saturation
+// to [0, 255]. Bit-identical to quantizeU8Scalar by the operand-order and
+// rounding contract in gemm8.go.
+//
+//go:noescape
+func quantizeU8AVX(n32 int, inv float32, x *float32, q *byte)
+
+// gemmQ8FusedAVX is the fused u8×s8 inference GEMM (see gemmQ8FusedScalar
+// for exact semantics): per (row, 4-channel quad), VPMADDUBSW/VPMADDWD
+// accumulate the k reduction in i32, then the dequantize epilogue
+// (subtract corr, convert, VMULPS scale, VADDPS bias) max-merges with a
+// floor clamp or add-merges into dst through a VMASKMOVPS lane mask, so
+// only the live channels of the final quad are touched. Arguments travel
+// in a q8Args block; the struct's field offsets are part of this contract.
+//
+//go:noescape
+func gemmQ8FusedAVX(p *q8Args)
+
+// sigmoid32AVX writes 1/(1+e^-x) lane-wise for n floats (n a positive
+// multiple of 8); bit-identical to fastSigmoid32. x and y may alias.
+//
+//go:noescape
+func sigmoid32AVX(n int, x, y *float32)
+
+// tanh32AVX writes tanh x lane-wise via 1 − 2/(e^2x+1) for n floats (n a
+// positive multiple of 8); bit-identical to fastTanh32. x and y may alias.
+//
+//go:noescape
+func tanh32AVX(n int, x, y *float32)
+
+func init() { useInt8 = hasAVX2FMA() }

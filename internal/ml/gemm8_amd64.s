@@ -1,0 +1,210 @@
+#include "textflag.h"
+
+// permQ8 reorders the dword blocks after the VPACKSSDW/VPACKUSWB ladder
+// (which interleaves per 128-bit lane) back into memory order: the packed
+// bytes land as dwords [d0 d4 d1 d5 d2 d6 d3 d7] of the desired output, so
+// gathering with these indices restores [d0 d1 .. d7].
+DATA permQ8<>+0(SB)/4, $0
+DATA permQ8<>+4(SB)/4, $4
+DATA permQ8<>+8(SB)/4, $1
+DATA permQ8<>+12(SB)/4, $5
+DATA permQ8<>+16(SB)/4, $2
+DATA permQ8<>+20(SB)/4, $6
+DATA permQ8<>+24(SB)/4, $3
+DATA permQ8<>+28(SB)/4, $7
+GLOBL permQ8<>(SB), RODATA|NOPTR, $32
+
+// Broadcast scalars for quantizeU8AVX, loaded from memory so the prologue
+// stays VEX-only: materializing them through a legacy-SSE MOVQ AX, X0 with
+// the ymm uppers already dirty forces an AVX↔SSE state transition (three
+// of them, ~500ns per call on the bench host) that dwarfs the kernel.
+DATA q8ClampLo<>+0(SB)/4, $0xC9800000
+GLOBL q8ClampLo<>(SB), RODATA|NOPTR, $4
+DATA q8ClampHi<>+0(SB)/4, $0x49800000
+GLOBL q8ClampHi<>(SB), RODATA|NOPTR, $4
+DATA q8ZpVec<>+0(SB)/4, $128
+GLOBL q8ZpVec<>(SB), RODATA|NOPTR, $4
+
+// func quantizeU8AVX(n32 int, inv float32, x *float32, q *byte)
+//
+// Per 32-float block: t = x·inv, clamp to ±2²⁰ with NaN → -2²⁰ (max's
+// src2-on-NaN rule, matching quantizeU8Scalar's comparison order), round
+// with VCVTPS2DQ (nearest-even, same integers as the scalar magic-number
+// trick inside the clamp range), add the zero point, then saturate-pack
+// i32→i16→u8 — the two saturating packs compose to the scalar's
+// clamp(r, 0, 255). VPERMD undoes the packs' lane interleave.
+TEXT ·quantizeU8AVX(SB), NOSPLIT, $0-32
+	MOVQ n32+0(FP), CX
+	MOVQ x+16(FP), SI
+	MOVQ q+24(FP), DI
+	VBROADCASTSS inv+8(FP), Y10
+	VBROADCASTSS q8ClampLo<>(SB), Y8 // -2²⁰
+	VBROADCASTSS q8ClampHi<>(SB), Y9 // +2²⁰
+	VPBROADCASTD q8ZpVec<>(SB), Y12 // q8Zp
+	VMOVDQU permQ8<>(SB), Y11
+	SHRQ $5, CX
+qzloop:
+	VMOVUPS 0(SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+	VMULPS Y10, Y0, Y0
+	VMULPS Y10, Y1, Y1
+	VMULPS Y10, Y2, Y2
+	VMULPS Y10, Y3, Y3
+	VMAXPS Y8, Y0, Y0 // max(t, lo): NaN t -> lo (src2)
+	VMAXPS Y8, Y1, Y1
+	VMAXPS Y8, Y2, Y2
+	VMAXPS Y8, Y3, Y3
+	VMINPS Y9, Y0, Y0
+	VMINPS Y9, Y1, Y1
+	VMINPS Y9, Y2, Y2
+	VMINPS Y9, Y3, Y3
+	VCVTPS2DQ Y0, Y0
+	VCVTPS2DQ Y1, Y1
+	VCVTPS2DQ Y2, Y2
+	VCVTPS2DQ Y3, Y3
+	VPADDD Y12, Y0, Y0
+	VPADDD Y12, Y1, Y1
+	VPADDD Y12, Y2, Y2
+	VPADDD Y12, Y3, Y3
+	VPACKSSDW Y1, Y0, Y0
+	VPACKSSDW Y3, Y2, Y2
+	VPACKUSWB Y2, Y0, Y0
+	VPERMD Y0, Y11, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  qzloop
+	VZEROUPPER
+	RET
+
+// func gemmQ8FusedAVX(p *q8Args)
+//
+// Quad-major sweep: for each 4-channel output quad, the four packed s8
+// weight rows stay hot while every activation window streams past once.
+// Per (quad, row): four i32 ymm accumulators run the k loop
+// (VPMADDUBSW u8×s8 -> i16 pairs, never saturating by the |w| ≤ 63
+// contract; VPMADDWD ×1 widens to i32), a VPHADDD tree reduces them to one
+// xmm [S0 S1 S2 S3], and the fused epilogue dequantizes (subtract corr,
+// convert, VMULPS scale, VADDPS bias — mul-then-add, matching the scalar
+// twin) and merges into the dst row at float-element offset dstOff[i]
+// (the producer pre-multiplies the row stride, so the epilogue carries no
+// multiply). Max-merge applies a floor clamp (fused ReLU + MaxPool
+// against a -Inf-prefilled dst); add-merge is the LSTM recurrent term.
+// The hot path uses plain VMOVUPS loads/stores; only a final quad with
+// tailLive < 4 live channels (VMASKMOVPS through tailMask) or an
+// add-merge call drops to the masked slow path, selected once per quad
+// in R15 (free here: no calls, non-dynlink build).
+//
+// Args block offsets (see q8Args): rows=0 quads=8 kb=16 xs=24 a=32 w=40
+// corr=48 scale=56 bias=64 dstOff=72 dst=80 dstW=88 floor=96 addMerge=100
+// tailMask=104 tailLive=112. Locals: 0(SP) quads remaining, 8(SP) quad
+// byte offset.
+TEXT ·gemmQ8FusedAVX(SB), NOSPLIT, $16-8
+	MOVQ p+0(FP), BX
+	MOVQ 16(BX), R9 // kPad = kb*32 (bytes)
+	SHLQ $5, R9
+	LEAQ (R9)(R9*2), AX // 3*kPad
+	VPCMPEQW Y13, Y13, Y13 // ones: i16 0x0001 lanes for VPMADDWD
+	VPSRLW $15, Y13, Y13
+	VBROADCASTSS 96(BX), X10 // floor
+	MOVQ 8(BX), CX
+	MOVQ CX, 0(SP) // quads remaining
+	MOVQ $0, 8(SP) // byte offset into corr/scale/bias
+	MOVQ 40(BX), R8 // w quad base
+	MOVQ 80(BX), DI // dst quad-column base
+qgquad:
+	MOVQ 8(SP), DX
+	MOVQ 48(BX), CX
+	VMOVDQU (CX)(DX*1), X7 // corr quad
+	MOVQ 56(BX), CX
+	VMOVUPS (CX)(DX*1), X8 // scale quad
+	MOVQ 64(BX), CX
+	VMOVUPS (CX)(DX*1), X9 // bias quad
+	VPCMPEQD X11, X11, X11 // full lane mask
+	MOVLQSX 100(BX), R15 // addMerge alone forces the masked slow path
+	MOVQ 0(SP), CX
+	CMPQ CX, $1
+	JNE  qgfull
+	CMPQ 112(BX), $4 // final quad with all lanes live stays unmasked
+	JEQ  qgfull
+	MOVQ 104(BX), CX // final quad: live-lane mask
+	VMOVDQU (CX), X11
+	MOVQ $1, R15
+qgfull:
+	MOVQ 32(BX), SI // a row pointer
+	MOVQ 72(BX), R11 // dstOff pointer
+	XORQ R10, R10 // row index
+qgrow:
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	MOVQ SI, R14 // a chunk
+	MOVQ R8, R13 // w chunk (channel 0 of quad)
+	MOVQ 16(BX), R12 // kb chunks
+qgchunk:
+	VMOVDQU (R14), Y4
+	VPMADDUBSW (R13), Y4, Y5 // u8 activations × s8 weights -> i16 pairs
+	VPMADDWD Y13, Y5, Y5
+	VPADDD Y5, Y0, Y0
+	VPMADDUBSW (R13)(R9*1), Y4, Y5
+	VPMADDWD Y13, Y5, Y5
+	VPADDD Y5, Y1, Y1
+	VPMADDUBSW (R13)(R9*2), Y4, Y5
+	VPMADDWD Y13, Y5, Y5
+	VPADDD Y5, Y2, Y2
+	VPMADDUBSW (R13)(AX*1), Y4, Y5
+	VPMADDWD Y13, Y5, Y5
+	VPADDD Y5, Y3, Y3
+	ADDQ $32, R14
+	ADDQ $32, R13
+	DECQ R12
+	JNZ  qgchunk
+	VPHADDD Y1, Y0, Y0 // lane-interleaved pair sums of acc0, acc1
+	VPHADDD Y3, Y2, Y2
+	VPHADDD Y2, Y0, Y0 // per lane: [S0 S1 S2 S3]
+	VEXTRACTI128 $1, Y0, X6
+	VPADDD X6, X0, X0 // [S0 S1 S2 S3]
+	MOVLQSX (R11), DX // dst row start = dstOff[i] (float elements)
+	LEAQ (DI)(DX*4), CX
+	VPSUBD X7, X0, X0 // acc - corr
+	VCVTDQ2PS X0, X0
+	VMULPS X8, X0, X0 // · scale
+	VADDPS X9, X0, X0 // + bias
+	TESTQ R15, R15
+	JNE  qgslow
+	VMAXPS X0, X10, X0 // clamp to floor: NaN v stays v (src2)
+	VMOVUPS (CX), X12
+	VMAXPS X12, X0, X0 // max-merge: ties and NaN keep dst (src2)
+	VMOVUPS X0, (CX)
+	JMP  qgnext
+qgslow:
+	MOVL 100(BX), DX
+	TESTL DX, DX
+	JNE  qgadd
+	VMAXPS X0, X10, X0 // clamp to floor: NaN v stays v (src2)
+	VMASKMOVPS (CX), X11, X12
+	VMAXPS X12, X0, X0 // max-merge: ties and NaN keep dst (src2)
+	VMASKMOVPS X0, X11, (CX)
+	JMP  qgnext
+qgadd:
+	VMASKMOVPS (CX), X11, X12
+	VADDPS X12, X0, X0
+	VMASKMOVPS X0, X11, (CX)
+qgnext:
+	ADDQ $4, R11
+	ADDQ 24(BX), SI
+	INCQ R10
+	MOVQ 0(BX), DX
+	CMPQ R10, DX
+	JLT  qgrow
+	LEAQ (R8)(R9*4), R8 // next quad's weights
+	ADDQ $16, DI
+	ADDQ $16, 8(SP)
+	DECQ 0(SP)
+	JNZ  qgquad
+	VZEROUPPER
+	RET

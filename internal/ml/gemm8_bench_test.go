@@ -1,0 +1,82 @@
+package ml
+
+import "testing"
+
+// BenchmarkQ8QuantizeU8 measures the f32→u8 activation quantizer on the
+// PaperNet bench input length (300 samples: nine AVX blocks plus a
+// 12-element scalar tail).
+func BenchmarkQ8QuantizeU8(b *testing.B) {
+	const n = 300
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i%17) - 8
+	}
+	q := make([]byte, n+q8KChunk)
+	b.SetBytes(n * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quantizeU8(x, 0.37, q)
+	}
+}
+
+// BenchmarkQ8GemmConv1 measures the fused int8 GEMM on the shape that
+// dominates quantized PaperNet inference: conv1's 98 stride-3 windows
+// against one 16-channel quad block, with the ReLU+MaxPool(4) merge going
+// through the pooled dstOff row map.
+func BenchmarkQ8GemmConv1(b *testing.B) {
+	const rows, quads, kb, xs, pool = 98, 4, 1, 3, 4
+	kPad := kb * q8KChunk
+	dstW := quads * 4
+	poolT := rows / pool
+	a := make([]byte, (rows-1)*xs+kPad+q8KChunk)
+	w := make([]int8, quads*4*kPad)
+	for i := range a {
+		a[i] = byte(i)
+	}
+	for i := range w {
+		w[i] = int8(i%127 - 63)
+	}
+	corr := make([]int32, quads*4)
+	scale := make([]float32, quads*4)
+	bias := make([]float32, quads*4)
+	for i := range scale {
+		scale[i] = 0.01
+	}
+	off := make([]int32, rows)
+	for i := range off {
+		r := i / pool
+		if r >= poolT {
+			r = poolT - 1
+		}
+		off[i] = int32(r * dstW)
+	}
+	dst := make([]float32, poolT*dstW)
+	b.SetBytes(int64(rows * kPad))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemmQ8Fused(rows, quads, kb, xs, a, w, corr, scale, bias,
+			off, dst, dstW, 0, false, 4)
+	}
+}
+
+// BenchmarkQ8Gates measures the vectorized LSTM gate nonlinearities on one
+// step's pre-activation row at the bench hidden size (H=16: 48 sigmoid
+// lanes, 16 tanh lanes).
+func BenchmarkQ8Gates(b *testing.B) {
+	const H = 16
+	pre := make([]float32, 4*H)
+	src := make([]float32, 4*H)
+	for i := range src {
+		src[i] = float32(i%11) - 5
+	}
+	b.SetBytes(4 * H * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(pre, src)
+		sigmoid32Vec(pre[:3*H], pre[:3*H])
+		tanh32Vec(pre[3*H:], pre[3*H:])
+	}
+}

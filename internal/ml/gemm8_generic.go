@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package ml
+
+// quantizeU8AVX satisfies the reference in quantizeU8 on non-amd64 builds;
+// it is unreachable because useInt8 stays false there.
+func quantizeU8AVX(n32 int, inv float32, x *float32, q *byte) {
+	panic("ml: quantizeU8AVX called without AVX2 support")
+}
+
+// gemmQ8FusedAVX satisfies the reference in gemmQ8Fused on non-amd64
+// builds; it is unreachable because useInt8 stays false there.
+func gemmQ8FusedAVX(p *q8Args) {
+	panic("ml: gemmQ8FusedAVX called without AVX2 support")
+}
+
+// sigmoid32AVX satisfies the reference in sigmoid32Vec on non-amd64
+// builds; it is unreachable because useInt8 stays false there.
+func sigmoid32AVX(n int, x, y *float32) {
+	panic("ml: sigmoid32AVX called without AVX2 support")
+}
+
+// tanh32AVX satisfies the reference in tanh32Vec on non-amd64 builds; it
+// is unreachable because useInt8 stays false there.
+func tanh32AVX(n int, x, y *float32) {
+	panic("ml: tanh32AVX called without AVX2 support")
+}

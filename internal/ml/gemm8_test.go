@@ -1,0 +1,238 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// withInt8 runs fn twice, once with the AVX2 int8 kernels enabled and once
+// forced generic, returning whether both ran (false when the host has no
+// AVX2 and only the generic leg ran).
+func withInt8(fn func()) bool {
+	was := useInt8
+	defer func() { useInt8 = was }()
+	useInt8 = false
+	fn()
+	if !was {
+		return false
+	}
+	useInt8 = true
+	fn()
+	return true
+}
+
+// TestInt8KernelsBitIdentical is the contract of gemm8_amd64.s: with the
+// gate on, quantizeU8 and gemmQ8Fused must produce bitwise the same result
+// as the scalar twins — the integer part because the ±63 weight clamp makes
+// VPMADDUBSW saturation unreachable, the f32 epilogue because both sides
+// use the same mul-then-add/clamp/merge operation order. Inputs cover the
+// vector body, the scalar tail, special float values (NaN, ±Inf, ±0,
+// subnormal), and the u8/s8 extremes (255·±63) that prove the saturation
+// headroom.
+func TestInt8KernelsBitIdentical(t *testing.T) {
+	if !useInt8 {
+		t.Skip("host CPU has no AVX2; generic path is the only path")
+	}
+	rng := sim.NewStream(53, "int8-kernels")
+
+	t.Run("quantizeU8", func(t *testing.T) {
+		lengths := []int{1, 3, 31, 32, 33, 63, 64, 65, 96, 100, 127, 128, 300}
+		specials := []float32{0, float32(math.Copysign(0, -1)),
+			float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+			1e-41, 3e38, -3e38, 0.5, -0.5, 1.5, -1.5, 254.5, 255.5, -128.5}
+		for _, n := range lengths {
+			x := make([]float32, n)
+			for i := range x {
+				x[i] = float32(rng.Uniform(-300, 300))
+			}
+			for k, v := range specials {
+				if n > k*2 {
+					x[k*2] = v
+				}
+			}
+			for _, inv := range []float32{1, 0.37, 42.333, 127} {
+				q1 := make([]byte, n)
+				q2 := make([]byte, n)
+				was := useInt8
+				useInt8 = false
+				quantizeU8(x, inv, q1)
+				useInt8 = true
+				quantizeU8(x, inv, q2)
+				useInt8 = was
+				for i := range q1 {
+					if q1[i] != q2[i] {
+						t.Fatalf("quantizeU8 n=%d inv=%v elem %d (x=%v): asm %d != generic %d",
+							n, inv, i, x[i], q2[i], q1[i])
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("gemmQ8Fused", func(t *testing.T) {
+		shapes := []struct {
+			rows, quads, kb, xs int
+			tailLive            int
+			addMerge            bool
+			relu                bool
+		}{
+			{1, 1, 1, 0, 4, false, false},   // single gemv row, full quad
+			{1, 1, 1, 0, 1, true, false},    // add-merge, 1 live lane
+			{1, 16, 1, 0, 4, true, false},   // LSTM recurrent shape (4H=64)
+			{3, 2, 1, 8, 3, false, true},    // strided windows, ReLU floor
+			{7, 4, 4, 24, 4, false, true},   // conv1-like (kPad=128)
+			{98, 4, 1, 24, 4, false, true},  // bench conv1 shape
+			{6, 4, 32, 384, 4, false, true}, // conv2-like (kPad=1024)
+			{5, 3, 2, 16, 2, false, false},  // -Inf floor, partial tail
+			{2, 5, 3, 32, 1, true, false},   // add-merge multi-quad
+		}
+		for si, sh := range shapes {
+			kPad := sh.kb * q8KChunk
+			out := sh.quads*4 - 4 + sh.tailLive
+			a := make([]byte, (sh.rows-1)*sh.xs+kPad)
+			for i := range a {
+				a[i] = byte(int(rng.Uniform(0, 256)))
+			}
+			a[0], a[len(a)-1] = 255, 255 // extremes against ±63 weights
+			w := make([]int8, sh.quads*4*kPad)
+			for i := range w {
+				w[i] = int8(int(rng.Uniform(-float64(q8WMax), float64(q8WMax)+1)))
+			}
+			w[0], w[kPad-1] = q8WMax, -q8WMax
+			corr := make([]int32, sh.quads*4)
+			scale := make([]float32, sh.quads*4)
+			bias := make([]float32, sh.quads*4)
+			for o := range corr {
+				corr[o] = int32(rng.Uniform(-1e6, 1e6))
+				scale[o] = float32(rng.Uniform(1e-4, 1e-2))
+				bias[o] = float32(rng.Uniform(-2, 2))
+			}
+			bias[0] = float32(math.NaN()) // NaN propagation must match too
+			// Pooled-style dst mapping: rows share dst rows in pairs.
+			dstW := sh.quads*4 + 3 // stride wider than the written span
+			dstOff := make([]int32, sh.rows)
+			maxRow := 0
+			for i := range dstOff {
+				r := i / 2 // two windows merge into each dst row
+				dstOff[i] = int32(r * dstW)
+				if r > maxRow {
+					maxRow = r
+				}
+			}
+			dst := make([]float32, (maxRow+1)*dstW)
+			for i := range dst {
+				if sh.addMerge {
+					dst[i] = float32(rng.Uniform(-1, 1))
+				} else {
+					dst[i] = negInf32
+				}
+			}
+			floor := negInf32
+			if sh.relu {
+				floor = 0
+			}
+			d1 := append([]float32(nil), dst...)
+			d2 := append([]float32(nil), dst...)
+			was := useInt8
+			useInt8 = false
+			gemmQ8Fused(sh.rows, sh.quads, sh.kb, sh.xs, a, w, corr, scale, bias,
+				dstOff, d1, dstW, floor, sh.addMerge, sh.tailLive)
+			useInt8 = true
+			gemmQ8Fused(sh.rows, sh.quads, sh.kb, sh.xs, a, w, corr, scale, bias,
+				dstOff, d2, dstW, floor, sh.addMerge, sh.tailLive)
+			useInt8 = was
+			for i := range d1 {
+				if math.Float32bits(d1[i]) != math.Float32bits(d2[i]) {
+					t.Fatalf("shape %d (rows=%d quads=%d kb=%d out=%d): dst[%d] asm %v != generic %v",
+						si, sh.rows, sh.quads, sh.kb, out, i, d2[i], d1[i])
+				}
+			}
+		}
+	})
+
+	t.Run("gateNonlinearities", func(t *testing.T) {
+		// The sigmoid/tanh kernels must reproduce the scalar twins bit for
+		// bit, including the exp clamps (±88 region saturates, and 2x in
+		// tanh halves the threshold), NaN passthrough, and the floor
+		// adjustment for negative fractional n.
+		specials := []float32{0, float32(math.Copysign(0, -1)),
+			float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+			88.01, 88.03, -87.32, -87.34, 44.0, 44.02, -43.66, -43.67,
+			700, -700, 1e-41, -1e-41, 0.25, -0.25, 0.6931, -0.6931, 5, -5}
+		for _, n := range []int{1, 7, 8, 9, 15, 16, 48, 100} {
+			x := make([]float32, n)
+			for i := range x {
+				x[i] = float32(rng.Uniform(-90, 90))
+			}
+			for k, v := range specials {
+				if k < n {
+					x[k] = v
+				}
+			}
+			for name, vec := range map[string]func(x, y []float32){
+				"sigmoid": sigmoid32Vec, "tanh": tanh32Vec,
+			} {
+				y1 := make([]float32, n)
+				y2 := make([]float32, n)
+				was := useInt8
+				useInt8 = false
+				vec(x, y1)
+				useInt8 = was
+				vec(x, y2)
+				for i := range y1 {
+					if math.Float32bits(y1[i]) != math.Float32bits(y2[i]) {
+						t.Fatalf("%s n=%d: y[%d] for x=%v: asm %v (%#x) != scalar %v (%#x)",
+							name, n, i, x[i], y2[i], math.Float32bits(y2[i]),
+							y1[i], math.Float32bits(y1[i]))
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestGemmQ8FusedMath spot-checks the fused kernel against a direct f64
+// evaluation of the dequantize formula on a small dense shape, so the two
+// bit-identical twins cannot both be wrong the same way.
+func TestGemmQ8FusedMath(t *testing.T) {
+	ok := withInt8(func() {
+		const rows, quads, kb = 2, 2, 1
+		kPad := kb * q8KChunk
+		a := make([]byte, (rows-1)*kPad+kPad)
+		w := make([]int8, quads*4*kPad)
+		for i := range a {
+			a[i] = byte((i*37 + 11) % 256)
+		}
+		for i := range w {
+			w[i] = int8(i%127 - 63)
+		}
+		corr := []int32{100, -200, 300, -400, 500, -600, 700, -800}
+		scale := []float32{0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008}
+		bias := []float32{1, -1, 2, -2, 3, -3, 4, -4}
+		dstOff := []int32{0, int32(quads * 4)}
+		dst := make([]float32, rows*quads*4)
+		for i := range dst {
+			dst[i] = negInf32
+		}
+		gemmQ8Fused(rows, quads, kb, kPad, a, w, corr, scale, bias,
+			dstOff, dst, quads*4, negInf32, false, 4)
+		for i := 0; i < rows; i++ {
+			for o := 0; o < quads*4; o++ {
+				var acc int64
+				for p := 0; p < kPad; p++ {
+					acc += int64(a[i*kPad+p]) * int64(w[o*kPad+p])
+				}
+				want := float32(acc-int64(corr[o]))*scale[o] + bias[o]
+				got := dst[i*quads*4+o]
+				if math.Abs(float64(got-want)) > 1e-4*(1+math.Abs(float64(want))) {
+					t.Fatalf("useInt8=%v row %d ch %d: got %v want %v", useInt8, i, o, got, want)
+				}
+			}
+		}
+	})
+	if !ok {
+		t.Log("AVX2 unavailable; only the generic leg ran")
+	}
+}

@@ -1,0 +1,209 @@
+// AVX2 vectorizations of the fast float32 gate nonlinearities. Both
+// kernels are bit-identical twins of the Go scalars in mathfast.go
+// (fastSigmoid32, fastTanh32): identical operation order (mul-then-add
+// Horner, no FMA), identical floor/clamp handling, and identical NaN
+// propagation — the scalar exp returns its (transformed) input for NaN,
+// which the vector path reproduces with a final unordered-compare blend,
+// after which the 1/(1+e) arithmetic quiets the NaN exactly like the
+// scalar divide does. The scalar clamps short-circuit before the
+// polynomial; the vector evaluates the polynomial unconditionally (SIMD
+// arithmetic never traps) and overwrites the out-of-range lanes, so the
+// stored bytes match lane for lane.
+
+#include "textflag.h"
+
+// Broadcast scalars for the range reduction and clamps.
+DATA fexpLog2Ec<>+0(SB)/4, $0x3FB8AA3B // log2 e
+GLOBL fexpLog2Ec<>(SB), RODATA|NOPTR, $4
+DATA fexpHalfc<>+0(SB)/4, $0x3F000000 // 0.5
+GLOBL fexpHalfc<>(SB), RODATA|NOPTR, $4
+DATA fexpC1c<>+0(SB)/4, $0x3F318000 // ln2 high
+GLOBL fexpC1c<>(SB), RODATA|NOPTR, $4
+DATA fexpC2c<>+0(SB)/4, $0xB95E8083 // ln2 low
+GLOBL fexpC2c<>(SB), RODATA|NOPTR, $4
+DATA fexpOnec<>+0(SB)/4, $0x3F800000 // 1.0
+GLOBL fexpOnec<>(SB), RODATA|NOPTR, $4
+DATA fexpBiasc<>+0(SB)/4, $127 // exponent bias
+GLOBL fexpBiasc<>(SB), RODATA|NOPTR, $4
+DATA fexpHic<>+0(SB)/4, $0x42B00A3D // 88.02: above this e^x overflows
+GLOBL fexpHic<>(SB), RODATA|NOPTR, $4
+DATA fexpLoc<>+0(SB)/4, $0xC2AEA8F6 // -87.33: below this e^x is 0
+GLOBL fexpLoc<>(SB), RODATA|NOPTR, $4
+
+// Full-width operands for memory-source VEX instructions.
+DATA fexpP0x8<>+0(SB)/4, $0x39506967 // 1.9875691500e-4
+DATA fexpP0x8<>+4(SB)/4, $0x39506967
+DATA fexpP0x8<>+8(SB)/4, $0x39506967
+DATA fexpP0x8<>+12(SB)/4, $0x39506967
+DATA fexpP0x8<>+16(SB)/4, $0x39506967
+DATA fexpP0x8<>+20(SB)/4, $0x39506967
+DATA fexpP0x8<>+24(SB)/4, $0x39506967
+DATA fexpP0x8<>+28(SB)/4, $0x39506967
+GLOBL fexpP0x8<>(SB), RODATA|NOPTR, $32
+DATA fexpP1x8<>+0(SB)/4, $0x3AB743CE // 1.3981999507e-3
+DATA fexpP1x8<>+4(SB)/4, $0x3AB743CE
+DATA fexpP1x8<>+8(SB)/4, $0x3AB743CE
+DATA fexpP1x8<>+12(SB)/4, $0x3AB743CE
+DATA fexpP1x8<>+16(SB)/4, $0x3AB743CE
+DATA fexpP1x8<>+20(SB)/4, $0x3AB743CE
+DATA fexpP1x8<>+24(SB)/4, $0x3AB743CE
+DATA fexpP1x8<>+28(SB)/4, $0x3AB743CE
+GLOBL fexpP1x8<>(SB), RODATA|NOPTR, $32
+DATA fexpP2x8<>+0(SB)/4, $0x3C088908 // 8.3334519073e-3
+DATA fexpP2x8<>+4(SB)/4, $0x3C088908
+DATA fexpP2x8<>+8(SB)/4, $0x3C088908
+DATA fexpP2x8<>+12(SB)/4, $0x3C088908
+DATA fexpP2x8<>+16(SB)/4, $0x3C088908
+DATA fexpP2x8<>+20(SB)/4, $0x3C088908
+DATA fexpP2x8<>+24(SB)/4, $0x3C088908
+DATA fexpP2x8<>+28(SB)/4, $0x3C088908
+GLOBL fexpP2x8<>(SB), RODATA|NOPTR, $32
+DATA fexpP3x8<>+0(SB)/4, $0x3D2AA9C1 // 4.1665795894e-2
+DATA fexpP3x8<>+4(SB)/4, $0x3D2AA9C1
+DATA fexpP3x8<>+8(SB)/4, $0x3D2AA9C1
+DATA fexpP3x8<>+12(SB)/4, $0x3D2AA9C1
+DATA fexpP3x8<>+16(SB)/4, $0x3D2AA9C1
+DATA fexpP3x8<>+20(SB)/4, $0x3D2AA9C1
+DATA fexpP3x8<>+24(SB)/4, $0x3D2AA9C1
+DATA fexpP3x8<>+28(SB)/4, $0x3D2AA9C1
+GLOBL fexpP3x8<>(SB), RODATA|NOPTR, $32
+DATA fexpP4x8<>+0(SB)/4, $0x3E2AAAAA // 1.6666665459e-1
+DATA fexpP4x8<>+4(SB)/4, $0x3E2AAAAA
+DATA fexpP4x8<>+8(SB)/4, $0x3E2AAAAA
+DATA fexpP4x8<>+12(SB)/4, $0x3E2AAAAA
+DATA fexpP4x8<>+16(SB)/4, $0x3E2AAAAA
+DATA fexpP4x8<>+20(SB)/4, $0x3E2AAAAA
+DATA fexpP4x8<>+24(SB)/4, $0x3E2AAAAA
+DATA fexpP4x8<>+28(SB)/4, $0x3E2AAAAA
+GLOBL fexpP4x8<>(SB), RODATA|NOPTR, $32
+DATA fexpP5x8<>+0(SB)/4, $0x3F000000 // 5.0000001201e-1
+DATA fexpP5x8<>+4(SB)/4, $0x3F000000
+DATA fexpP5x8<>+8(SB)/4, $0x3F000000
+DATA fexpP5x8<>+12(SB)/4, $0x3F000000
+DATA fexpP5x8<>+16(SB)/4, $0x3F000000
+DATA fexpP5x8<>+20(SB)/4, $0x3F000000
+DATA fexpP5x8<>+24(SB)/4, $0x3F000000
+DATA fexpP5x8<>+28(SB)/4, $0x3F000000
+GLOBL fexpP5x8<>(SB), RODATA|NOPTR, $32
+DATA fexpInfx8<>+0(SB)/4, $0x7F800000 // +Inf
+DATA fexpInfx8<>+4(SB)/4, $0x7F800000
+DATA fexpInfx8<>+8(SB)/4, $0x7F800000
+DATA fexpInfx8<>+12(SB)/4, $0x7F800000
+DATA fexpInfx8<>+16(SB)/4, $0x7F800000
+DATA fexpInfx8<>+20(SB)/4, $0x7F800000
+DATA fexpInfx8<>+24(SB)/4, $0x7F800000
+DATA fexpInfx8<>+28(SB)/4, $0x7F800000
+GLOBL fexpInfx8<>(SB), RODATA|NOPTR, $32
+DATA fexpSignx8<>+0(SB)/4, $0x80000000 // sign bit
+DATA fexpSignx8<>+4(SB)/4, $0x80000000
+DATA fexpSignx8<>+8(SB)/4, $0x80000000
+DATA fexpSignx8<>+12(SB)/4, $0x80000000
+DATA fexpSignx8<>+16(SB)/4, $0x80000000
+DATA fexpSignx8<>+20(SB)/4, $0x80000000
+DATA fexpSignx8<>+24(SB)/4, $0x80000000
+DATA fexpSignx8<>+28(SB)/4, $0x80000000
+GLOBL fexpSignx8<>(SB), RODATA|NOPTR, $32
+
+// FEXP8 evaluates fastExp32 on the eight lanes of Y1, leaving the result
+// in Y6. Clobbers Y2-Y5, Y7. Register contract (set up by the callers):
+// Y8=-87.33, Y9=88.02, Y10=int32 127, Y11=1.0, Y12=ln2lo, Y13=ln2hi,
+// Y14=0.5, Y15=log2e. The floor of z = x·log2e + 0.5 is built from
+// truncation plus a compare-driven decrement, mirroring the scalar's
+// "n-- when z < 0 and float32(n) != z" (trunc exceeds z exactly when z is
+// negative and fractional).
+#define FEXP8 \
+	VMULPS Y15, Y1, Y2 \ // z = t·log2e
+	VADDPS Y14, Y2, Y2 \ // z += 0.5
+	VCVTTPS2DQ Y2, Y3 \ // n = trunc(z)
+	VCVTDQ2PS Y3, Y4 \
+	VCMPPS $30, Y2, Y4, Y5 \ // GT_OQ: trunc(z) > z ⇒ floor needs n-1
+	VPADDD Y5, Y3, Y3 \ // mask lanes are -1
+	VCVTDQ2PS Y3, Y4 \ // fn = float32(n)
+	VMULPS Y13, Y4, Y5 \
+	VSUBPS Y5, Y1, Y5 \ // r = t - fn·ln2hi
+	VMULPS Y12, Y4, Y6 \
+	VSUBPS Y6, Y5, Y5 \ // r -= fn·ln2lo
+	VMOVUPS fexpP0x8<>(SB), Y6 \
+	VMULPS Y5, Y6, Y6 \
+	VADDPS fexpP1x8<>(SB), Y6, Y6 \
+	VMULPS Y5, Y6, Y6 \
+	VADDPS fexpP2x8<>(SB), Y6, Y6 \
+	VMULPS Y5, Y6, Y6 \
+	VADDPS fexpP3x8<>(SB), Y6, Y6 \
+	VMULPS Y5, Y6, Y6 \
+	VADDPS fexpP4x8<>(SB), Y6, Y6 \
+	VMULPS Y5, Y6, Y6 \
+	VADDPS fexpP5x8<>(SB), Y6, Y6 \
+	VMULPS Y5, Y6, Y6 \ // p·r
+	VMULPS Y5, Y6, Y6 \ // ·r
+	VADDPS Y5, Y6, Y6 \ // + r
+	VADDPS Y11, Y6, Y6 \ // + 1
+	VPADDD Y10, Y3, Y3 \ // 2^n through the exponent bits
+	VPSLLD $23, Y3, Y3 \
+	VMULPS Y3, Y6, Y6 \
+	VCMPPS $30, Y9, Y1, Y7 \ // t > 88.02 ⇒ +Inf
+	VBLENDVPS Y7, fexpInfx8<>(SB), Y6, Y6 \
+	VCMPPS $17, Y8, Y1, Y7 \ // LT_OQ: t < -87.33 ⇒ 0
+	VANDNPS Y6, Y7, Y6 \
+	VCMPPS $3, Y1, Y1, Y7 \ // UNORD: NaN t passes through
+	VBLENDVPS Y7, Y1, Y6, Y6
+
+#define FEXPSETUP \
+	VBROADCASTSS fexpLoc<>(SB), Y8 \
+	VBROADCASTSS fexpHic<>(SB), Y9 \
+	VPBROADCASTD fexpBiasc<>(SB), Y10 \
+	VBROADCASTSS fexpOnec<>(SB), Y11 \
+	VBROADCASTSS fexpC2c<>(SB), Y12 \
+	VBROADCASTSS fexpC1c<>(SB), Y13 \
+	VBROADCASTSS fexpHalfc<>(SB), Y14 \
+	VBROADCASTSS fexpLog2Ec<>(SB), Y15
+
+// func sigmoid32AVX(n int, x, y *float32)
+//
+// y[i] = 1/(1 + e^-x[i]) for i < n; n must be a positive multiple of 8.
+// x and y may alias.
+TEXT ·sigmoid32AVX(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	FEXPSETUP
+	SHRQ $3, CX
+sigloop:
+	VMOVUPS (SI), Y0
+	VXORPS fexpSignx8<>(SB), Y0, Y1 // t = -x
+	FEXP8
+	VADDPS Y11, Y6, Y6 // 1 + e^-x
+	VDIVPS Y6, Y11, Y6 // 1/(1 + e^-x)
+	VMOVUPS Y6, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  sigloop
+	VZEROUPPER
+	RET
+
+// func tanh32AVX(n int, x, y *float32)
+//
+// y[i] = tanh x[i] via 1 − 2/(e^2x + 1) for i < n; n must be a positive
+// multiple of 8. x and y may alias.
+TEXT ·tanh32AVX(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	FEXPSETUP
+	SHRQ $3, CX
+tanhloop:
+	VMOVUPS (SI), Y0
+	VADDPS Y0, Y0, Y1 // t = 2x
+	FEXP8
+	VADDPS Y11, Y6, Y6 // e^2x + 1
+	VADDPS Y11, Y11, Y7 // 2.0
+	VDIVPS Y6, Y7, Y6 // 2/(e^2x + 1)
+	VSUBPS Y6, Y11, Y6 // 1 − ·
+	VMOVUPS Y6, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  tanhloop
+	VZEROUPPER
+	RET

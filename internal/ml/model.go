@@ -15,6 +15,12 @@ import (
 // cross-entropy loss.
 type Sequential struct {
 	Layers []Layer
+
+	// gen counts weight mutations (bumped at every Fit entry). The
+	// compiled/quantized inference caches record it when they freeze the
+	// model and rebuild when it moves, so a re-fit classifier never serves
+	// stale artifacts.
+	gen uint64
 }
 
 // Params collects every layer's learnables.
@@ -162,6 +168,7 @@ func (s *Sequential) Fit(X []*Tensor, y []int, valX []*Tensor, valY []int, cfg F
 	if len(X) == 0 || len(X) != len(y) {
 		return errors.New("ml: Fit needs matching non-empty X, y")
 	}
+	s.gen++ // weights are about to move; invalidate frozen-model caches
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 10
 	}

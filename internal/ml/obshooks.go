@@ -34,3 +34,14 @@ var (
 	mInferSamples = obs.Default.Counter("ml.infer.samples")
 	cInferFusedNS = obs.Default.Counter("ml.infer.fused_ns")
 )
+
+// Handles for the int8 quantized tier and the per-classifier artifact
+// cache. Quantize runs once per fit; the cache counters are one atomic add
+// per PredictBatch call, and fallbacks record every scoring call that
+// wanted a fast tier but ran a slower one (failed Compile/Quantize).
+var (
+	mQuantizes        = obs.Default.Counter("ml.quantize.calls")
+	cInferCacheHits   = obs.Default.Counter("ml.infer.cache.hits")
+	cInferCacheMisses = obs.Default.Counter("ml.infer.cache.misses")
+	cInferFallbacks   = obs.Default.Counter("ml.infer.cache.fallbacks")
+)
