@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke check-infer-equivalence check-int8-agreement check-train-equivalence bench-smoke bench-obs smoke-obs ci clean
+.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence bench-smoke bench-obs smoke-obs ci clean
 
 # Run directory for benchmark artifacts. Every bench target drops all of its
 # outputs — profiles and the machine-readable JSON from cmd/benchjson — into
@@ -29,7 +29,7 @@ test:
 # gradient-shard worker pool, fold/collection pools, event engine, machine
 # lifecycle, metrics registry/tracer) under the race detector.
 race:
-	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs ./internal/serve
 
 # Full benchmark sweep (slow: regenerates every table/figure at bench scale).
 # CPU/heap profiles land next to the parsed BENCH.json in $(OUTDIR) instead
@@ -84,6 +84,21 @@ bench-infer-int8: | $(OUTDIR)
 bench-infer-int8-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkPredictBatch/int8|BenchmarkQ8' -benchtime 1x . ./internal/ml
 
+# Serving daemon: sustained throughput of the admission-controlled
+# micro-batching server vs the unbatched and naive paths, the low-load
+# latency legs, and the tier×batchwait×workers sweep. BENCH_serve.json at
+# the repo root is the committed baseline; profiles land in $(OUTDIR).
+bench-serve: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime 2s \
+		-cpuprofile $(OUTDIR)/serve-cpu.prof -memprofile $(OUTDIR)/serve-mem.prof \
+		./internal/serve \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_serve.json
+
+# One-iteration pass over the serving benchmarks: catches bit-rot in the
+# load-harness plumbing without paying for stable timings.
+bench-serve-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime 1x ./internal/serve
+
 # The compiled inference path must agree (argmax per trace) with the float64
 # reference on every golden scenario. Run narrowly with -v and grep for the
 # PASS line: a skipped test prints no PASS, so silent skips fail ci too.
@@ -126,7 +141,7 @@ smoke-obs:
 	grep -q '"scenario": "bgnoise/quiet"' smoke-obs-out/run.json
 	rm -rf smoke-obs-out
 
-ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke check-infer-equivalence check-int8-agreement check-train-equivalence smoke-obs
+ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence smoke-obs
 
 clean:
 	$(GO) clean

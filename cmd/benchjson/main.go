@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -65,6 +66,13 @@ func parseBenchLine(line string) (result, bool) {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return result{}, false
+		}
+		// ParseFloat accepts "NaN" and "+Inf", which b.ReportMetric will
+		// happily emit (an empty histogram's quantile, a zero-elapsed
+		// throughput) — but encoding/json refuses to marshal them, which
+		// would sink the whole report. Drop the column, keep the line.
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			continue
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":

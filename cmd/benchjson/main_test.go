@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine(
@@ -19,6 +22,51 @@ func TestParseBenchLine(t *testing.T) {
 	}
 	if r.Metrics["GFLOPS"] != 2.605 {
 		t.Fatalf("custom metric: %+v", r.Metrics)
+	}
+}
+
+// TestParseBenchLineServingMetrics covers the serving benchmark's custom
+// units end to end: req/s and p99-µs must land in the metrics map and
+// survive json.Marshal.
+func TestParseBenchLineServingMetrics(t *testing.T) {
+	r, ok := parseBenchLine(
+		"BenchmarkServeThroughput/logreg100/coalesced/int8 	  239851	      8339 ns/op	    4987 p99-µs	  119912 req/s	       0 shed/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Metrics["req/s"] != 119912 || r.Metrics["p99-µs"] != 4987 {
+		t.Fatalf("custom units lost: %+v", r.Metrics)
+	}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// TestParseBenchLineNonFinite: ReportMetric can emit NaN or ±Inf (an
+// empty histogram's quantile, a zero-elapsed throughput), which
+// encoding/json refuses to marshal. Such columns are dropped; the rest of
+// the line survives.
+func TestParseBenchLineNonFinite(t *testing.T) {
+	r, ok := parseBenchLine(
+		"BenchmarkServeLatency/conc=1-1 	  1000	  11852 ns/op	NaN p99-µs	+Inf req/s	  42 good/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if _, present := r.Metrics["p99-µs"]; present {
+		t.Fatalf("NaN metric kept: %+v", r.Metrics)
+	}
+	if _, present := r.Metrics["req/s"]; present {
+		t.Fatalf("Inf metric kept: %+v", r.Metrics)
+	}
+	if r.Metrics["good/op"] != 42 || r.NsPerOp != 11852 {
+		t.Fatalf("finite columns lost: %+v", r)
+	}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// A line whose only ns/op value is non-finite has no usable result.
+	if _, ok := parseBenchLine("BenchmarkBroken 10 NaN ns/op"); ok {
+		t.Fatal("line with non-finite ns/op wrongly accepted")
 	}
 }
 

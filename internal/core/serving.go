@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/browser"
+	"repro/internal/kernel"
+	"repro/internal/ml"
+	"repro/internal/trace"
+)
+
+// ServingScenario is the configuration served models are trained on: the
+// paper's baseline Chrome-on-Linux loop-counting attacker.
+func ServingScenario() Scenario {
+	return Scenario{Name: "serve", OS: kernel.Linux, Browser: browser.Chrome, Attack: LoopCounting}
+}
+
+// ServingModel bundles everything a serving daemon needs: the frozen
+// inference artifact, the tier actually built (requested tier falls back
+// exactly as batch scoring does), the preprocessing raw traces get before
+// scoring, and a bank of held-out raw traces for load generation and
+// self-tests.
+type ServingModel struct {
+	Model    ml.Frozen
+	Tier     ml.InferTier
+	Prep     ml.Preprocessor
+	InputLen int
+	Classes  int
+	// Traces are the raw collected traces (load-generation corpus).
+	Traces [][]float64
+}
+
+// ParseServingTier maps the -infer flag's vocabulary onto the tiers a
+// serving daemon accepts. Unlike ConfigureInference, "reference" is an
+// error: serving requires a frozen artifact.
+func ParseServingTier(mode string) (ml.InferTier, error) {
+	switch mode {
+	case "", "int8":
+		return ml.TierInt8, nil
+	case "compiled":
+		return ml.TierCompiled, nil
+	case "reference":
+		return 0, fmt.Errorf("core: serving requires a compiled tier (want int8 or compiled)")
+	}
+	return 0, fmt.Errorf("core: unknown inference mode %q (want int8 or compiled)", mode)
+}
+
+// BuildServingModel collects a dataset for the scenario, trains the named
+// classifier on all of it, and freezes the fitted model at the requested
+// tier. Only gradient-trained classifiers can be frozen ("logreg",
+// "cnn"); the instance-based ones have no model to compile.
+func BuildServingModel(scn Scenario, sc Scale, clfName string, tier ml.InferTier) (*ServingModel, error) {
+	mk, err := ClassifierByName(clfName)
+	if err != nil {
+		return nil, err
+	}
+	if mk == nil {
+		return nil, fmt.Errorf("core: classifier %q cannot be frozen for serving (want logreg or cnn)", clfName)
+	}
+	clf := mk(sc.Seed)
+	fz, ok := clf.(ml.Freezer)
+	if !ok {
+		return nil, fmt.Errorf("core: classifier %q cannot be frozen for serving (want logreg or cnn)", clfName)
+	}
+
+	ds, err := CollectDataset(scn, sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := clf.Fit(ds); err != nil {
+		return nil, fmt.Errorf("core: serving fit: %w", err)
+	}
+	frozen, got, err := fz.Frozen(tier)
+	if err != nil {
+		return nil, err
+	}
+	return &ServingModel{
+		Model:    frozen,
+		Tier:     got,
+		Prep:     fz.Preprocessor(),
+		InputLen: fz.InputLen(),
+		Classes:  ds.NumClasses,
+		Traces:   rawTraces(ds),
+	}, nil
+}
+
+// rawTraces extracts the raw value series from a dataset.
+func rawTraces(ds *trace.Dataset) [][]float64 {
+	out := make([][]float64, ds.Len())
+	for i, t := range ds.Traces {
+		out[i] = t.Values
+	}
+	return out
+}

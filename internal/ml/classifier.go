@@ -37,19 +37,36 @@ type Preprocessor struct {
 
 // Apply transforms one trace's values.
 func (p Preprocessor) Apply(values []float64) []float64 {
-	out := values
+	return p.ApplyInto(nil, nil, values)
+}
+
+// ApplyInto is Apply with caller-owned scratch: the result lands in buf's
+// storage (grown as needed), with tmp as the smoothing intermediate. The
+// returned slice aliases buf; values is never modified. With pre-grown
+// buffers a call performs zero heap allocations, which is what lets a
+// serving layer preprocess per-request without GC pressure
+// (TestApplyIntoMatchesApply pins bit-identity with Apply).
+func (p Preprocessor) ApplyInto(buf, tmp, values []float64) []float64 {
+	var cur []float64
 	if p.TargetLen > 0 && len(values) > p.TargetLen {
 		factor := (len(values) + p.TargetLen - 1) / p.TargetLen
-		out = trace.Downsample(out, factor)
+		buf = trace.DownsampleInto(buf, values, factor)
+		cur = buf
 	} else {
-		cp := make([]float64, len(out))
-		copy(cp, out)
-		out = cp
+		if cap(buf) < len(values) {
+			buf = make([]float64, len(values))
+		}
+		buf = buf[:len(values)]
+		copy(buf, values)
+		cur = buf
 	}
 	if p.Smooth > 1 {
-		out = stats.MovingAverage(out, p.Smooth)
+		tmp = stats.MovingAverageInto(tmp, cur, p.Smooth)
+		// Standardize back into buf so the result always aliases it.
+		buf = buf[:len(tmp)]
+		return stats.ZScoreInto(buf, tmp)
 	}
-	return stats.ZScore(out)
+	return stats.ZScoreInto(cur, cur)
 }
 
 // DefaultPreprocessor matches the harness defaults: ~300-point traces,
@@ -388,6 +405,64 @@ func predictPrepped(model *Sequential, cc *compiledCache, prep Preprocessor, inL
 	}
 	return model.PredictBatch(X, par)
 }
+
+// Freezer is a trained classifier whose model can be frozen into a fast
+// inference artifact for long-running serving (see internal/serve): the
+// artifact, the preprocessing that must be applied to raw traces before
+// scoring, and the trained input length scored traces are padded/trimmed
+// to. LogReg and CNNLSTM implement it.
+type Freezer interface {
+	// Frozen returns the frozen artifact for the requested tier, falling
+	// back one tier at a time exactly like batch scoring does (int8 →
+	// compiled); the returned tier is the one actually built. Requesting
+	// TierReference errors: serving needs a frozen artifact.
+	Frozen(tier InferTier) (Frozen, InferTier, error)
+	InputLen() int
+	Preprocessor() Preprocessor
+}
+
+// frozenFrom freezes a fitted model through its artifact cache with the
+// same tier-by-tier fallback predictPrepped applies per batch.
+func frozenFrom(model *Sequential, cc *compiledCache, tier InferTier) (Frozen, InferTier, error) {
+	if model == nil {
+		return nil, TierReference, errors.New("ml: Frozen: classifier not fitted")
+	}
+	if tier == TierReference {
+		return nil, TierReference, errors.New("ml: Frozen: serving requires a compiled tier")
+	}
+	if tier >= TierInt8 {
+		if qm := cc.getQuantized(model); qm != nil {
+			return qm, TierInt8, nil
+		}
+		cInferFallbacks.Inc()
+	}
+	if cm := cc.get(model); cm != nil {
+		return cm, TierCompiled, nil
+	}
+	return nil, TierReference, errors.New("ml: Frozen: model does not compile")
+}
+
+// Frozen freezes the fitted regression for serving (see Freezer).
+func (lr *LogReg) Frozen(tier InferTier) (Frozen, InferTier, error) {
+	return frozenFrom(lr.model, &lr.cc, tier)
+}
+
+// InputLen returns the trained input length (0 before Fit).
+func (lr *LogReg) InputLen() int { return lr.inLen }
+
+// Preprocessor returns the preprocessing applied before scoring.
+func (lr *LogReg) Preprocessor() Preprocessor { return lr.Prep }
+
+// Frozen freezes the fitted network for serving (see Freezer).
+func (c *CNNLSTM) Frozen(tier InferTier) (Frozen, InferTier, error) {
+	return frozenFrom(c.model, &c.cc, tier)
+}
+
+// InputLen returns the trained input length (0 before Fit).
+func (c *CNNLSTM) InputLen() int { return c.inLen }
+
+// Preprocessor returns the preprocessing applied before scoring.
+func (c *CNNLSTM) Preprocessor() Preprocessor { return c.Prep }
 
 // SpectralCentroid is a nearest-centroid classifier over FFT magnitude
 // features (see SpectralPreprocessor): shift-invariant fingerprinting for

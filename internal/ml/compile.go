@@ -207,21 +207,26 @@ func (cm *CompiledModel) runBody(sc *inferScratch, x *Tensor, workers int) ([]fl
 
 // softmax32Into writes the stable softmax of f32 logits into dst as
 // float64, reusing dst when it has the right length (nil or mis-sized dst
-// is allocated).
+// is allocated). The exponentials run through fastExp32 rather than f64
+// math.Exp: with wide heads (the 100-class closed world) the scalar f64
+// exp dominated the serving profile, and softmax's ~1e-7 relative error
+// budget sits far inside the compiled tier's 1e-5 agreement band — exp
+// being monotone, argmax-based gates are unaffected entirely.
 func softmax32Into(dst []float64, logits []float32) []float64 {
 	if len(dst) != len(logits) {
 		dst = make([]float64, len(logits))
 	}
-	max := math.Inf(-1)
+	max := float32(math.Inf(-1))
 	for _, v := range logits {
-		if float64(v) > max {
-			max = float64(v)
+		if v > max {
+			max = v
 		}
 	}
 	var sum float64
 	for i, v := range logits {
-		dst[i] = math.Exp(float64(v) - max)
-		sum += dst[i]
+		e := float64(fastExp32(v - max))
+		dst[i] = e
+		sum += e
 	}
 	for i := range dst {
 		dst[i] /= sum
@@ -284,6 +289,15 @@ func (cm *CompiledModel) PredictBatch(X []*Tensor, par int) [][]float64 {
 // microBatchMax, each scored with one fused head GEMM instead of
 // per-sample gemv calls.
 func (cm *CompiledModel) PredictBatchInto(X []*Tensor, par int, out [][]float64) {
+	sc := cm.getScratch()
+	cm.predictInto(sc, X, par, out)
+	cm.putScratch(sc)
+}
+
+// predictInto scores X into out using the caller-supplied scratch arena —
+// the body shared by PredictBatchInto (transient checkout) and
+// InferSession (pinned arena).
+func (cm *CompiledModel) predictInto(sc *inferScratch, X []*Tensor, par int, out [][]float64) {
 	if len(out) < len(X) {
 		panic("ml: PredictBatchInto: out shorter than X")
 	}
@@ -295,7 +309,6 @@ func (cm *CompiledModel) PredictBatchInto(X []*Tensor, par int, out [][]float64)
 	if obs.On() {
 		t0 = time.Now()
 	}
-	sc := cm.getScratch()
 	i := 0
 	for i < len(X) {
 		bEnd := i + 1
@@ -307,7 +320,6 @@ func (cm *CompiledModel) PredictBatchInto(X []*Tensor, par int, out [][]float64)
 		mInferBatches.Inc()
 		i = bEnd
 	}
-	cm.putScratch(sc)
 	mInferSamples.Add(int64(len(X)))
 	if obs.On() {
 		cInferFusedNS.Add(time.Since(t0).Nanoseconds())

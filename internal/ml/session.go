@@ -1,0 +1,56 @@
+package ml
+
+// InferSession pins one scratch arena to one owner — typically a serving
+// worker that scores batches in a loop. CompiledModel.PredictBatchInto
+// checks an arena out of the model's mutex-guarded free list on every
+// call; a session takes that checkout once, so the steady-state scoring
+// path has no shared-state traffic at all and the arena (activation
+// buffers, micro-batch panels) stays hot in the owner's cache.
+//
+// A session is NOT safe for concurrent use — it is exactly one worker's
+// arena. Open one session per goroutine; the model itself stays safe to
+// share. Close returns the arena to the model's free list; using a closed
+// session panics (nil scratch).
+
+// MicroBatchMax is the widest micro-batch the compiled inference path
+// packs into one fused head GEMM. Serving layers that coalesce requests
+// should aim batches at this width: wider submissions are simply split,
+// narrower ones leave head-GEMM amortization on the table.
+const MicroBatchMax = microBatchMax
+
+// Frozen is a frozen inference artifact that can open scoring sessions:
+// *CompiledModel and *QuantizedModel.
+type Frozen interface {
+	NewSession() *InferSession
+}
+
+// InferSession is a single-owner handle on a model plus one pinned
+// scratch arena.
+type InferSession struct {
+	cm *CompiledModel
+	sc *inferScratch
+}
+
+// NewSession pins a scratch arena to the caller. On a *QuantizedModel the
+// promoted method serves the quantized stage list (the embedded
+// CompiledModel's body holds the int8 stages).
+func (cm *CompiledModel) NewSession() *InferSession {
+	return &InferSession{cm: cm, sc: cm.getScratch()}
+}
+
+// PredictBatchInto scores X into out exactly as
+// CompiledModel.PredictBatchInto, but on the session's pinned arena: no
+// free-list round-trip, zero heap allocations warm, and results
+// bit-identical to the transient-checkout path at every par.
+func (s *InferSession) PredictBatchInto(X []*Tensor, par int, out [][]float64) {
+	s.cm.predictInto(s.sc, X, par, out)
+}
+
+// Close returns the arena to the model's free list. The session must not
+// be used afterwards. Idempotent.
+func (s *InferSession) Close() {
+	if s.sc != nil {
+		s.cm.putScratch(s.sc)
+		s.sc = nil
+	}
+}

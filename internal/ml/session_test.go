@@ -1,0 +1,149 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sessionTestModel builds a small trained-shape PaperNet and a batch of
+// random inputs without running Fit (random frozen weights exercise the
+// same kernels).
+func sessionTestModel(t testing.TB) (*Sequential, []*Tensor) {
+	t.Helper()
+	model, err := PaperNet(17, 300, 7, 8, 8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewStream(99, "session-test")
+	X := make([]*Tensor, 67) // odd count: exercises the tail micro-batch
+	for i := range X {
+		xs := make([]float64, 300)
+		for j := range xs {
+			xs[j] = rng.Uniform(-2, 2)
+		}
+		X[i] = FromSeries(xs)
+	}
+	return model, X
+}
+
+// TestInferSessionMatchesPredictBatch pins the session contract: scoring
+// through a pinned arena is bit-identical to the transient-checkout path,
+// for both the f32 and int8 tiers.
+func TestInferSessionMatchesPredictBatch(t *testing.T) {
+	model, X := sessionTestModel(t)
+	cm, err := Compile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := Quantize(cm, X[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fz := range map[string]Frozen{"compiled": cm, "int8": qm} {
+		var ref [][]float64
+		switch m := fz.(type) {
+		case *CompiledModel:
+			ref = m.PredictBatch(X, 1)
+		case *QuantizedModel:
+			ref = m.PredictBatch(X, 1)
+		}
+		sess := fz.NewSession()
+		got := make([][]float64, len(X))
+		sess.PredictBatchInto(X, 1, got)
+		// A second pass on the warm arena must reproduce the first.
+		again := make([][]float64, len(X))
+		sess.PredictBatchInto(X, 1, again)
+		sess.Close()
+		for i := range ref {
+			for j := range ref[i] {
+				if ref[i][j] != got[i][j] || got[i][j] != again[i][j] {
+					t.Fatalf("%s: sample %d class %d: ref %v session %v warm %v",
+						name, i, j, ref[i][j], got[i][j], again[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferSessionCloseReturnsArena checks Close is idempotent and hands
+// the arena back to the free list for the next checkout.
+func TestInferSessionCloseReturnsArena(t *testing.T) {
+	model, X := sessionTestModel(t)
+	cm, err := Compile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cm.NewSession()
+	out := make([][]float64, len(X))
+	s.PredictBatchInto(X, 1, out)
+	sc := s.sc
+	s.Close()
+	s.Close() // idempotent
+	if got := cm.getScratch(); got != sc {
+		t.Fatalf("arena not returned to free list: got %p want %p", got, sc)
+	}
+}
+
+// TestApplyIntoMatchesApply pins ApplyInto to Apply bit-for-bit across the
+// branch space: downsampled and not, smoothed and not, zero variance, and
+// warm buffer reuse.
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := sim.NewStream(5, "applyinto")
+	preps := []Preprocessor{
+		{},
+		{TargetLen: 300},
+		{TargetLen: 300, Smooth: 3},
+		{TargetLen: 100, Smooth: 5},
+		DefaultPreprocessor,
+	}
+	var buf, tmp []float64
+	for _, n := range []int{10, 100, 300, 1000, 1234} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Uniform(-5, 5)
+		}
+		flat := make([]float64, n) // zero variance
+		for _, p := range preps {
+			want := p.Apply(xs)
+			got := p.ApplyInto(buf, tmp, xs)
+			buf = got // reuse grown storage on the next round
+			if len(want) != len(got) {
+				t.Fatalf("prep %+v len %d: length %d != %d", p, n, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("prep %+v len %d idx %d: %v != %v", p, n, i, got[i], want[i])
+				}
+			}
+			if fw := p.Apply(flat); len(fw) > 0 {
+				fg := p.ApplyInto(nil, nil, flat)
+				for i := range fw {
+					if fw[i] != fg[i] {
+						t.Fatalf("zero-variance mismatch at %d: %v != %v", i, fg[i], fw[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyIntoZeroAlloc proves the warm-path allocation contract the
+// serving layer depends on.
+func TestApplyIntoZeroAlloc(t *testing.T) {
+	p := DefaultPreprocessor
+	xs := make([]float64, 1200)
+	for i := range xs {
+		xs[i] = float64(i % 17)
+	}
+	buf := make([]float64, 0, 2048)
+	tmp := make([]float64, 0, 2048)
+	allocs := testing.AllocsPerRun(100, func() {
+		out := p.ApplyInto(buf, tmp, xs)
+		buf = out[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("ApplyInto allocated %.1f/op on warm buffers, want 0", allocs)
+	}
+}

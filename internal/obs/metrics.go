@@ -125,7 +125,10 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
-// HistogramSnapshot is a histogram's point-in-time state.
+// HistogramSnapshot is a histogram's point-in-time state. P50/P95/P99 are
+// bucket-interpolated quantile summaries (see Quantile), populated at
+// snapshot time so progress lines and run manifests can report tail
+// latency directly instead of raw bucket dumps.
 type HistogramSnapshot struct {
 	// Bounds are the upper bucket edges; Counts has one extra entry for
 	// the +Inf overflow bucket.
@@ -133,6 +136,55 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50,omitempty"`
+	P95    float64   `json:"p95,omitempty"`
+	P99    float64   `json:"p99,omitempty"`
+}
+
+// Quantile returns the q-th quantile (0 < q ≤ 1) estimated by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimator Prometheus's histogram_quantile uses. The first bucket
+// interpolates from 0 when its upper edge is positive (observations are
+// assumed non-negative there), from the edge itself otherwise; ranks
+// landing in the +Inf overflow bucket clamp to the largest finite edge,
+// so the result is always finite and JSON-safe. An empty histogram (or
+// one with no finite buckets) returns NaN.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.Count)
+	var cum float64
+	for i, b := range h.Bounds {
+		c := float64(h.Counts[i])
+		if cum+c >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			} else if b <= 0 {
+				lo = b
+			}
+			return lo + (b-lo)*(target-cum)/c
+		}
+		cum += c
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// summarize fills the quantile summary fields from the bucket counts.
+func (h *HistogramSnapshot) summarize() {
+	if h.Count == 0 {
+		return
+	}
+	if p := h.Quantile(0.50); !math.IsNaN(p) {
+		h.P50 = p
+	}
+	if p := h.Quantile(0.95); !math.IsNaN(p) {
+		h.P95 = p
+	}
+	if p := h.Quantile(0.99); !math.IsNaN(p) {
+		h.P99 = p
+	}
 }
 
 // Snapshot is a registry's point-in-time state, JSON-serializable and
@@ -263,6 +315,7 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.summarize()
 		s.Histograms[name] = hs
 	}
 	return s

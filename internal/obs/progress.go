@@ -68,7 +68,9 @@ func (r *Reporter) Stop() {
 	})
 }
 
-// defaultRender prints all non-zero counters, sorted by name.
+// defaultRender prints all non-zero counters plus each populated
+// histogram's p99 (the interpolated quantile summary, not a bucket dump),
+// sorted by name.
 func defaultRender() string {
 	snap := Default.Snapshot()
 	names := make([]string, 0, len(snap.Counters))
@@ -84,6 +86,19 @@ func defaultRender() string {
 			b.WriteString(" | ")
 		}
 		fmt.Fprintf(&b, "%s=%d", name, snap.Counters[name])
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if h.Count != 0 {
+			hnames = append(hnames, name)
+		}
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		if b.Len() > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s.p99=%.3g", name, snap.Histograms[name].P99)
 	}
 	if b.Len() == 0 {
 		return "(no metrics yet)"

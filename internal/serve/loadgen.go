@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// ClassifyFunc is one way of scoring a trace — the in-process server
+// (Server.Classify), a TCP client (Client.Classify), or the naive direct
+// model path (NaiveClassifier). The load generator drives all three
+// through the same closed loop so their numbers are comparable.
+type ClassifyFunc func(xs []float64) (Result, error)
+
+// LoadOpts configures one closed-loop load run.
+type LoadOpts struct {
+	// Classify scores one trace.
+	Classify ClassifyFunc
+	// Traces are cycled round-robin by each worker.
+	Traces [][]float64
+	// Conc is the number of closed-loop client goroutines: each submits
+	// its next request the moment the previous one answers.
+	Conc int
+	// Requests, when positive, stops after exactly this many attempts
+	// (spread across workers). Otherwise Duration governs.
+	Requests int
+	// Duration bounds the run when Requests is zero (default 1s).
+	Duration time.Duration
+}
+
+// LoadResult is one load run's outcome. Latency quantiles come from a
+// run-local histogram with the same 1-2-5 µs bounds the server uses,
+// summarized through obs's interpolated quantile estimator.
+type LoadResult struct {
+	Requests   int           // completed OK
+	Overloads  int           // shed with ErrOverloaded
+	Deadline   int           // shed with ErrDeadlineExceeded
+	Errors     int           // any other failure
+	Elapsed    time.Duration // wall time of the measured window
+	Throughput float64       // OK responses per second
+	P50us      float64       // client-observed latency quantiles (µs)
+	P95us      float64
+	P99us      float64
+	MeanUs     float64
+}
+
+// String renders the result as one table-ready line.
+func (r LoadResult) String() string {
+	return fmt.Sprintf("%d ok (%.0f req/s) p50=%.0fµs p99=%.0fµs shed=%d deadline=%d err=%d in %v",
+		r.Requests, r.Throughput, r.P50us, r.P99us, r.Overloads, r.Deadline, r.Errors,
+		r.Elapsed.Round(time.Millisecond))
+}
+
+// RunLoad drives a closed loop of opts.Conc workers against opts.Classify
+// and reports throughput and client-observed latency quantiles. Closed
+// loop means offered load adapts to capacity — the steady state measures
+// sustainable throughput rather than queue growth.
+func RunLoad(opts LoadOpts) (LoadResult, error) {
+	if opts.Classify == nil {
+		return LoadResult{}, errors.New("serve: RunLoad: Classify is required")
+	}
+	if len(opts.Traces) == 0 {
+		return LoadResult{}, errors.New("serve: RunLoad: no traces")
+	}
+	if opts.Conc <= 0 {
+		opts.Conc = 1
+	}
+	if opts.Requests <= 0 && opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+
+	// A run-local registry keeps load-side latency out of the server's own
+	// metrics; Observe is atomic, so one shared histogram absorbs all
+	// workers without locks.
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("loadgen.latency_us", usBounds...)
+
+	var ok, over, dead, fail atomic.Int64
+	var budget atomic.Int64
+	budget.Store(int64(opts.Requests))
+	stop := make(chan struct{})
+	if opts.Requests <= 0 {
+		time.AfterFunc(opts.Duration, func() { close(stop) })
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(opts.Conc)
+	for w := 0; w < opts.Conc; w++ {
+		go func(w int) {
+			defer wg.Done()
+			i := w // stagger trace selection across workers
+			for {
+				if opts.Requests > 0 {
+					if budget.Add(-1) < 0 {
+						return
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				t0 := time.Now()
+				_, err := opts.Classify(opts.Traces[i%len(opts.Traces)])
+				lat.Observe(float64(time.Since(t0).Nanoseconds()) / 1e3)
+				i++
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					over.Add(1)
+				case errors.Is(err, ErrDeadlineExceeded):
+					dead.Add(1)
+				default:
+					fail.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hs := reg.Snapshot().Histograms["loadgen.latency_us"]
+	res := LoadResult{
+		Requests:  int(ok.Load()),
+		Overloads: int(over.Load()),
+		Deadline:  int(dead.Load()),
+		Errors:    int(fail.Load()),
+		Elapsed:   elapsed,
+		P50us:     hs.P50,
+		P95us:     hs.P95,
+		P99us:     hs.P99,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests) / elapsed.Seconds()
+	}
+	if hs.Count > 0 {
+		res.MeanUs = hs.Sum / float64(hs.Count)
+	}
+	return res, nil
+}
+
+// NaiveClassifier is the status-quo serving path this package exists to
+// beat: every caller preprocesses its own trace and scores it through a
+// one-sample PredictBatch on the shared model — the same per-request work
+// ml's batch scoring does (prep, pad/trim to inputLen when positive,
+// tensor build, score). Each call pays the full per-request toll —
+// preprocessing and tensor allocations, a scratch-arena checkout through
+// the model's free-list mutex, and a one-wide head GEMM — that the
+// micro-batching server amortizes or eliminates. It is safe for
+// concurrent use, exactly as naively-shared models are.
+func NaiveClassifier(model ml.Frozen, prep ml.Preprocessor, inLen int) ClassifyFunc {
+	type batcher interface {
+		PredictBatchInto(X []*ml.Tensor, par int, out [][]float64)
+	}
+	m := model.(batcher)
+	return func(xs []float64) (Result, error) {
+		v := prep.Apply(xs)
+		if inLen > 0 && len(v) != inLen {
+			d := make([]float64, inLen)
+			copy(d, v)
+			v = d
+		}
+		x := ml.FromSeries(v)
+		out := make([][]float64, 1)
+		m.PredictBatchInto([]*ml.Tensor{x}, 1, out)
+		return argmax(out[0]), nil
+	}
+}

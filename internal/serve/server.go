@@ -1,0 +1,420 @@
+// Package serve is the fingerprint-serving layer: a long-running daemon
+// that loads one frozen model (compiled f32 or int8 — see ml.Frozen) and
+// classifies traces for many concurrent callers at high, predictable
+// throughput.
+//
+// The core is a micro-batching request pump. Callers never touch the model:
+// Classify preprocesses the trace into a pooled request slot and submits it
+// to a bounded queue; a small pool of inference workers drains the queue,
+// coalescing concurrent requests into dynamic micro-batches aimed at the
+// compiled path's fused-GEMM width (ml.MicroBatchMax). One batched score
+// amortizes the per-call costs — scratch-arena traffic, head-GEMM setup,
+// scheduler handoffs — that a naive one-request-one-PredictBatch design
+// pays per trace.
+//
+// Admission control is explicit rather than emergent: a full queue sheds
+// new work immediately with ErrOverloaded (callers see back-pressure as an
+// error, not unbounded latency), and requests whose deadline has passed
+// are dropped before they occupy a batch slot, so a latency spike cannot
+// cascade into wasted inference on answers nobody is waiting for.
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// Errors returned by Classify. They are sentinel values: transports map
+// them onto wire status codes and load generators count them by identity.
+var (
+	// ErrOverloaded is returned when the submission queue is full — the
+	// admission-control signal that the server is saturated.
+	ErrOverloaded = errors.New("serve: overloaded: submission queue full")
+	// ErrDeadlineExceeded is returned when a request's deadline expired
+	// before a worker could score it.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before scoring")
+	// ErrServerClosed is returned for submissions after Stop.
+	ErrServerClosed = errors.New("serve: server closed")
+)
+
+// Config describes a serving instance.
+type Config struct {
+	// Model is the frozen inference artifact (required): a compiled f32 or
+	// int8-quantized model. The model is shared; each worker opens its own
+	// pinned-arena session.
+	Model ml.Frozen
+	// Prep is applied to every submitted trace before scoring.
+	Prep ml.Preprocessor
+	// InputLen, when positive, is the model's trained input length:
+	// preprocessed traces are zero-padded or trimmed to it, exactly as
+	// batch scoring does (ml.Freezer.InputLen). It also sizes pooled
+	// request buffers.
+	InputLen int
+	// Workers is the number of inference workers (default 1). On a
+	// single-core host one worker with wide batches is usually optimal.
+	Workers int
+	// MaxBatch caps coalesced batch width (default ml.MicroBatchMax).
+	// MaxBatch = 1 degenerates to unbatched serving — the baseline the
+	// benchmarks compare against.
+	MaxBatch int
+	// BatchWait bounds how long a worker holds an open batch waiting for
+	// it to fill once the first request arrived. Zero means greedy: score
+	// whatever is queued right now without waiting.
+	BatchWait time.Duration
+	// QueueDepth bounds the submission queue; submissions beyond it shed
+	// with ErrOverloaded (default 4 × Workers × MaxBatch).
+	QueueDepth int
+	// Deadline, when positive, stamps every request with submit-time +
+	// Deadline; requests still queued past it are dropped with
+	// ErrDeadlineExceeded before occupying a batch slot.
+	Deadline time.Duration
+	// Par is the intra-op GEMM worker count per scoring call (default 1:
+	// serving parallelism comes from concurrent requests, not intra-op).
+	Par int
+}
+
+// Result is one classification outcome.
+type Result struct {
+	Label int     // argmax class
+	Prob  float64 // probability of Label
+}
+
+// slot is one pooled in-flight request. Buffers persist across uses, so
+// the steady-state submit path performs zero heap allocations.
+type slot struct {
+	xs    []float64 // preprocessed trace (ApplyInto target)
+	tmp   []float64 // smoothing intermediate
+	x     ml.Tensor // header aliasing xs — rebuilt per use, never shared
+	probs []float64 // class probabilities (PredictBatchInto row)
+
+	enq      time.Time
+	deadline time.Time
+	span     *obs.Span
+
+	res  Result
+	err  error
+	done chan struct{} // buffered(1): worker signals completion
+}
+
+// session is the scoring seam the workers drive. *ml.InferSession
+// satisfies it; tests substitute blocking fakes to exercise admission
+// control without a model.
+type session interface {
+	PredictBatchInto(X []*ml.Tensor, par int, out [][]float64)
+	Close()
+}
+
+// Server coalesces concurrent Classify calls into micro-batches over a
+// pool of inference workers. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	queue chan *slot
+	slots sync.Pool
+	seq   atomic.Uint64 // request sequence, drives span sampling
+
+	openSession func() session // test seam; defaults to Model.NewSession
+
+	mu      sync.RWMutex // guards stopped vs. queue close
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// Observability handles. Histograms are microsecond-scaled with 1-2-5
+// decade bounds so p50/p99 interpolation stays tight from ~1µs to ~1s.
+var (
+	cRequests  = obs.Default.Counter("serve.requests")
+	cBatches   = obs.Default.Counter("serve.batches")
+	cShedQueue = obs.Default.Counter("serve.shed_overload")
+	cShedDead  = obs.Default.Counter("serve.shed_deadline")
+
+	usBounds = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500,
+		1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6}
+
+	hQueueWait = obs.Default.Histogram("serve.queue_wait_us", usBounds...)
+	hE2E       = obs.Default.Histogram("serve.e2e_us", usBounds...)
+	hBatchSize = obs.Default.Histogram("serve.batch_size",
+		1, 2, 4, 8, 12, 16, 24, 32, 48, 64)
+)
+
+// spanSampleMask samples one request span per 1024 submissions: enough to
+// see representative request timelines in a manifest without the tracer's
+// buffer (or its lock) becoming the hot path.
+const spanSampleMask = 1<<10 - 1
+
+// New validates cfg, builds the server, and starts its workers.
+func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// newServer builds without starting workers — the white-box seam that
+// lets tests drive batch assembly and admission directly.
+func newServer(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("serve: Config.Model is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = ml.MicroBatchMax
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers * cfg.MaxBatch
+	}
+	if cfg.Par <= 0 {
+		cfg.Par = 1
+	}
+	hint := cfg.InputLen
+	if hint < 512 {
+		hint = 512
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *slot, cfg.QueueDepth),
+	}
+	s.slots.New = func() any {
+		return &slot{
+			xs:   make([]float64, 0, hint),
+			tmp:  make([]float64, 0, hint),
+			done: make(chan struct{}, 1),
+		}
+	}
+	s.openSession = func() session { return cfg.Model.NewSession() }
+	return s, nil
+}
+
+func (s *Server) start() {
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+// Classify scores one trace, blocking until a worker answers or admission
+// control sheds the request. values is not retained.
+func (s *Server) Classify(values []float64) (Result, error) {
+	sl := s.slots.Get().(*slot)
+	if cap(sl.tmp) < len(values) {
+		sl.tmp = make([]float64, 0, len(values))
+	}
+	sl.xs = s.cfg.Prep.ApplyInto(sl.xs, sl.tmp, values)
+	if n := s.cfg.InputLen; n > 0 && len(sl.xs) != n {
+		sl.xs = resize(sl.xs, n)
+	}
+	sl.x.Rows, sl.x.Cols, sl.x.Data = len(sl.xs), 1, sl.xs
+
+	sl.enq = time.Now()
+	if s.cfg.Deadline > 0 {
+		sl.deadline = sl.enq.Add(s.cfg.Deadline)
+	} else {
+		sl.deadline = time.Time{}
+	}
+	cRequests.Inc()
+	if s.seq.Add(1)&spanSampleMask == 0 {
+		sl.span = obs.StartSpan(nil, "serve.request")
+	} else {
+		sl.span = nil
+	}
+
+	// The RLock pairs with Stop's exclusive section: a submission either
+	// observes stopped or completes its send before the queue closes, so
+	// no goroutine ever sends on a closed channel.
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		s.slots.Put(sl)
+		return Result{}, ErrServerClosed
+	}
+	select {
+	case s.queue <- sl:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		cShedQueue.Inc()
+		sl.span.SetAttr("shed", "overload").End()
+		s.slots.Put(sl)
+		return Result{}, ErrOverloaded
+	}
+
+	<-sl.done
+	res, err := sl.res, sl.err
+	s.slots.Put(sl)
+	return res, err
+}
+
+// Stop closes admission and waits for the workers to score everything
+// already queued. Idempotent; concurrent Classify calls either complete
+// or return ErrServerClosed.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// admit moves a dequeued slot into the open batch — unless its deadline
+// already passed, in which case it is answered (and counted) immediately
+// so it never occupies a batch slot.
+func (s *Server) admit(sl *slot, batch []*slot) []*slot {
+	now := time.Now()
+	if !sl.deadline.IsZero() && now.After(sl.deadline) {
+		cShedDead.Inc()
+		sl.err = ErrDeadlineExceeded
+		sl.span.SetAttr("shed", "deadline").End()
+		sl.done <- struct{}{}
+		return batch
+	}
+	hQueueWait.Observe(float64(now.Sub(sl.enq).Nanoseconds()) / 1e3)
+	return append(batch, sl)
+}
+
+// worker drains the queue, assembling fill-or-timeout micro-batches and
+// scoring them on a pinned-arena session.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	sess := s.openSession()
+	defer sess.Close()
+
+	maxB := s.cfg.MaxBatch
+	batch := make([]*slot, 0, maxB)
+	X := make([]*ml.Tensor, 0, maxB)
+	out := make([][]float64, maxB)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+	for {
+		sl, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = s.admit(sl, batch[:0])
+
+		// Batch-close policy: fill to maxB, or give up after BatchWait
+		// measured from the first arrival. BatchWait == 0 drains greedily —
+		// whatever is queued right now forms the batch.
+		//
+		// Before either policy, drain cooperatively: yield the processor so
+		// runnable submitters (typically the clients just answered by the
+		// previous batch) can preprocess and enqueue, then sweep the queue
+		// without ever parking. Parking in the select would instead wake
+		// the worker once per submission — a full handoff per request,
+		// which on a saturated single core costs more than the batching
+		// saves. Two consecutive empty sweeps mean the remaining producers
+		// are genuinely off-CPU, and the timed wait (if any) takes over.
+		closed := false
+		for idle := 0; len(batch) < maxB && idle < 2; {
+			select {
+			case sl2, ok2 := <-s.queue:
+				if !ok2 {
+					closed = true
+				} else {
+					batch = s.admit(sl2, batch)
+					idle = 0
+					continue
+				}
+			default:
+				runtime.Gosched()
+				idle++
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed && s.cfg.BatchWait > 0 {
+			timer.Reset(s.cfg.BatchWait)
+		fill:
+			for len(batch) < maxB {
+				select {
+				case sl2, ok2 := <-s.queue:
+					if !ok2 {
+						closed = true
+						break fill
+					}
+					batch = s.admit(sl2, batch)
+				case <-timer.C:
+					break fill
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+
+		if len(batch) > 0 {
+			X = X[:0]
+			for i, bsl := range batch {
+				X = append(X, &bsl.x)
+				out[i] = bsl.probs
+			}
+			sess.PredictBatchInto(X, s.cfg.Par, out[:len(batch)])
+			cBatches.Inc()
+			hBatchSize.Observe(float64(len(batch)))
+			now := time.Now()
+			for i, bsl := range batch {
+				bsl.probs = out[i]
+				bsl.res = argmax(out[i])
+				bsl.err = nil
+				e2e := float64(now.Sub(bsl.enq).Nanoseconds()) / 1e3
+				hE2E.Observe(e2e)
+				bsl.span.SetAttr("e2e_us", e2e).SetAttr("batch", len(batch)).End()
+				bsl.done <- struct{}{}
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// resize zero-pads or trims xs to n in place (growing at most once per
+// slot), matching the pad/trim batch scoring applies before a trained
+// model.
+func resize(xs []float64, n int) []float64 {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	if cap(xs) < n {
+		g := make([]float64, n, n)
+		copy(g, xs)
+		return g
+	}
+	old := len(xs)
+	xs = xs[:n]
+	for i := old; i < n; i++ {
+		xs[i] = 0
+	}
+	return xs
+}
+
+// argmax reduces a probability row to its Result.
+func argmax(probs []float64) Result {
+	if len(probs) == 0 {
+		return Result{Label: -1}
+	}
+	best := 0
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	return Result{Label: best, Prob: probs[best]}
+}

@@ -1,0 +1,166 @@
+// Wire protocol: length-prefixed binary frames over TCP.
+//
+// Every message is one frame — a little-endian u32 payload length followed
+// by the payload, capped at maxFrame so a hostile or corrupt length prefix
+// can never drive allocation. Payloads:
+//
+//	classify request:  [type=1][id u64][n u32][n × f64]   (13 + 8n bytes)
+//	classify response: [type=2][id u64][status u8][label u16][prob f32]
+//
+// All integers and floats are little-endian. ids are caller-chosen and
+// echoed verbatim, so clients may pipeline arbitrarily many requests per
+// connection and match responses out of order.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// maxFrame bounds a frame payload (1 MiB ≈ a 130k-point trace —
+// far beyond any fingerprinting window).
+const maxFrame = 1 << 20
+
+// Message types.
+const (
+	msgClassify = 1
+	msgResult   = 2
+)
+
+// Response status codes.
+const (
+	statusOK         = 0
+	statusOverloaded = 1
+	statusDeadline   = 2
+	statusBadRequest = 3
+	statusClosed     = 4
+)
+
+// Decode errors. Transports treat any of them as a fatal protocol error
+// and drop the connection.
+var (
+	ErrFrameTooLarge = errors.New("serve: frame exceeds 1 MiB limit")
+	ErrFrameShort    = errors.New("serve: truncated frame")
+	ErrBadMessage    = errors.New("serve: malformed message payload")
+)
+
+const (
+	reqHeaderLen  = 1 + 8 + 4 // type, id, count
+	respPayloadLen = 1 + 8 + 1 + 2 + 4
+)
+
+// appendFrame appends a length prefix plus payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeFrame splits the first frame off buf, returning its payload and
+// the remaining bytes. The payload aliases buf — no copying, no
+// allocation, and the declared length is validated against both maxFrame
+// and the bytes actually present before anything is sliced.
+func DecodeFrame(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < 4 {
+		return nil, buf, ErrFrameShort
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if n > maxFrame {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if uint32(len(buf)-4) < n {
+		return nil, buf, ErrFrameShort
+	}
+	return buf[4 : 4+n], buf[4+n:], nil
+}
+
+// AppendRequest appends one framed classify request to dst.
+func AppendRequest(dst []byte, id uint64, xs []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(reqHeaderLen+8*len(xs)))
+	dst = append(dst, msgClassify)
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(xs)))
+	for _, v := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeRequest parses a classify-request payload, appending the trace
+// into xs (reused when its capacity suffices). The declared sample count
+// is checked against the payload length before any allocation, so a
+// forged count cannot over-allocate.
+func DecodeRequest(payload []byte, xs []float64) (id uint64, out []float64, err error) {
+	if len(payload) < reqHeaderLen || payload[0] != msgClassify {
+		return 0, xs[:0], ErrBadMessage
+	}
+	id = binary.LittleEndian.Uint64(payload[1:])
+	n := int(binary.LittleEndian.Uint32(payload[9:]))
+	if len(payload) != reqHeaderLen+8*n {
+		return 0, xs[:0], ErrBadMessage
+	}
+	xs = xs[:0]
+	if cap(xs) < n {
+		xs = make([]float64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint64(payload[reqHeaderLen+8*i:])
+		xs = append(xs, math.Float64frombits(bits))
+	}
+	return id, xs, nil
+}
+
+// AppendResponse appends one framed classify response to dst.
+func AppendResponse(dst []byte, id uint64, status byte, label uint16, prob float32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, respPayloadLen)
+	dst = append(dst, msgResult)
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = append(dst, status)
+	dst = binary.LittleEndian.AppendUint16(dst, label)
+	dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(prob))
+	return dst
+}
+
+// DecodeResponse parses a classify-response payload.
+func DecodeResponse(payload []byte) (id uint64, status byte, label uint16, prob float32, err error) {
+	if len(payload) != respPayloadLen || payload[0] != msgResult {
+		return 0, 0, 0, 0, ErrBadMessage
+	}
+	id = binary.LittleEndian.Uint64(payload[1:])
+	status = payload[9]
+	label = binary.LittleEndian.Uint16(payload[10:])
+	prob = math.Float32frombits(binary.LittleEndian.Uint32(payload[12:]))
+	return id, status, label, prob, nil
+}
+
+// statusError maps a Classify error onto its wire status.
+func statusError(err error) byte {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrOverloaded):
+		return statusOverloaded
+	case errors.Is(err, ErrDeadlineExceeded):
+		return statusDeadline
+	case errors.Is(err, ErrServerClosed):
+		return statusClosed
+	default:
+		return statusBadRequest
+	}
+}
+
+// errStatus is statusError's inverse, used by clients.
+func errStatus(status byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusOverloaded:
+		return ErrOverloaded
+	case statusDeadline:
+		return ErrDeadlineExceeded
+	case statusClosed:
+		return ErrServerClosed
+	default:
+		return ErrBadMessage
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	xs := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.NaN()}
+	frame := AppendRequest(nil, 42, xs)
+	payload, rest, err := DecodeFrame(frame)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("DecodeFrame: err=%v rest=%d", err, len(rest))
+	}
+	id, got, err := DecodeRequest(payload, nil)
+	if err != nil || id != 42 {
+		t.Fatalf("DecodeRequest: id=%d err=%v", id, err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("len %d != %d", len(got), len(xs))
+	}
+	for i := range xs {
+		if math.Float64bits(got[i]) != math.Float64bits(xs[i]) {
+			t.Fatalf("sample %d: %v != %v", i, got[i], xs[i])
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	frame := AppendResponse(nil, 7, statusDeadline, 3, 0.625)
+	payload, rest, err := DecodeFrame(frame)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("DecodeFrame: err=%v rest=%d", err, len(rest))
+	}
+	id, status, label, prob, err := DecodeResponse(payload)
+	if err != nil || id != 7 || status != statusDeadline || label != 3 || prob != 0.625 {
+		t.Fatalf("got id=%d status=%d label=%d prob=%v err=%v", id, status, label, prob, err)
+	}
+	if !errors.Is(errStatus(status), ErrDeadlineExceeded) {
+		t.Fatalf("errStatus(%d) = %v", status, errStatus(status))
+	}
+}
+
+func TestStatusMappingInverts(t *testing.T) {
+	for _, err := range []error{nil, ErrOverloaded, ErrDeadlineExceeded, ErrServerClosed} {
+		if got := errStatus(statusError(err)); !errors.Is(got, err) && !(err == nil && got == nil) {
+			t.Fatalf("status round-trip of %v gave %v", err, got)
+		}
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	if _, _, err := DecodeFrame([]byte{1, 2}); !errors.Is(err, ErrFrameShort) {
+		t.Fatalf("short prefix: %v", err)
+	}
+	// Oversized declared length must be rejected before any slicing.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length: %v", err)
+	}
+	// Declared length beyond available bytes.
+	trunc := AppendRequest(nil, 1, []float64{1, 2, 3})[:10]
+	if _, _, err := DecodeFrame(trunc); !errors.Is(err, ErrFrameShort) {
+		t.Fatalf("truncated frame: %v", err)
+	}
+}
+
+// FuzzFrameDecode hammers the full decode surface: DecodeFrame must bound
+// itself by the bytes present, and the message decoders must reject any
+// inconsistent payload with an error — never panic, and never allocate
+// storage from an attacker-declared count that the payload cannot back.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendRequest(nil, 1, []float64{1, 2, 3}))
+	f.Add(AppendResponse(nil, 2, statusOK, 1, 0.5))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(AppendRequest(nil, 9, nil))
+	f.Add(AppendRequest(nil, 3, []float64{1, 2, 3})[:11])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := data
+		for hops := 0; hops < 64; hops++ {
+			payload, rest, err := DecodeFrame(buf)
+			if err != nil {
+				if len(payload) != 0 {
+					t.Fatalf("error %v but non-empty payload", err)
+				}
+				return
+			}
+			if len(payload) > maxFrame {
+				t.Fatalf("payload %d exceeds maxFrame", len(payload))
+			}
+			if id, xs, err := DecodeRequest(payload, nil); err == nil {
+				// A successful decode must be backed byte-for-byte.
+				if len(payload) != reqHeaderLen+8*len(xs) {
+					t.Fatalf("request decode length mismatch: %d vs %d samples", len(payload), len(xs))
+				}
+				_ = id
+			} else if cap(xs) > len(payload) {
+				t.Fatalf("failed decode allocated %d floats for a %d-byte payload", cap(xs), len(payload))
+			}
+			if _, status, _, _, err := DecodeResponse(payload); err == nil {
+				_ = errStatus(status) // must be total
+			}
+			if len(rest) >= len(buf) {
+				t.Fatal("DecodeFrame made no progress")
+			}
+			buf = rest
+		}
+	})
+}

@@ -223,16 +223,58 @@ func ZScore(xs []float64) []float64 {
 	return out
 }
 
+// ZScoreInto is ZScore with caller-owned output; dst is grown as needed
+// (dst == xs standardizes in place). Returns the result slice.
+func ZScoreInto(dst, xs []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	// One fewer pass than Mean+StdDev: StdDev's Variance recomputes the
+	// mean internally, so reuse m in its sum-of-squares loop (the result
+	// is bit-identical — Mean is deterministic).
+	m := Mean(xs)
+	var sd float64
+	if len(xs) >= 2 {
+		var ss float64
+		for _, x := range xs {
+			d := x - m
+			ss += d * d
+		}
+		sd = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	if sd == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i, x := range xs {
+		dst[i] = (x - m) / sd
+	}
+	return dst
+}
+
 // MovingAverage smooths xs with a centered window of the given width.
 func MovingAverage(xs []float64, window int) []float64 {
-	if window <= 1 {
-		out := make([]float64, len(xs))
-		copy(out, xs)
-		return out
+	return MovingAverageInto(nil, xs, window)
+}
+
+// MovingAverageInto is MovingAverage with caller-owned output; dst is
+// grown as needed and must not alias xs (the centered window reads
+// neighbours after they would have been overwritten).
+func MovingAverageInto(dst, xs []float64, window int) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
 	}
-	out := make([]float64, len(xs))
+	dst = dst[:len(xs)]
+	if window <= 1 {
+		copy(dst, xs)
+		return dst
+	}
+	out := dst
 	half := window / 2
-	for i := range xs {
+	edge := func(i int) {
 		lo := i - half
 		if lo < 0 {
 			lo = 0
@@ -246,6 +288,25 @@ func MovingAverage(xs []float64, window int) []float64 {
 			s += xs[j]
 		}
 		out[i] = s / float64(hi-lo)
+	}
+	// Interior points all see the full centered window, so sum a
+	// fixed-width slice with no clamping — the clamped edge handling only
+	// runs for the `half` points at each end. Summation order matches the
+	// clamped loop exactly, so results are bit-identical.
+	den := float64(2*half + 1)
+	lim := len(xs) - half
+	for i := 0; i < len(xs) && i < half; i++ {
+		edge(i)
+	}
+	for i := half; i < lim; i++ {
+		var s float64
+		for _, v := range xs[i-half : i+half+1] {
+			s += v
+		}
+		out[i] = s / den
+	}
+	for i := max(lim, half); i < len(xs); i++ {
+		edge(i)
 	}
 	return out
 }

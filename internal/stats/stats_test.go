@@ -301,3 +301,70 @@ func newDetRNG(seed uint64) func(int) int {
 		return int((state >> 33) % uint64(n))
 	}
 }
+
+// referenceMovingAverage is the pre-optimization clamped-window loop;
+// MovingAverageInto's split edge/interior form must reproduce it
+// bit-for-bit (same summation order, same divisor).
+func referenceMovingAverage(xs []float64, window int) []float64 {
+	out := make([]float64, len(xs))
+	if window <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := window / 2
+	for i := range xs {
+		lo, hi := i-half, i+half+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		var s float64
+		for j := lo; j < hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}
+
+func TestMovingAverageMatchesReference(t *testing.T) {
+	rnd := newDetRNG(42)
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 31, 300} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rnd(1000)) / 7
+		}
+		for _, w := range []int{1, 2, 3, 4, 5, 7, 9, n + 3} {
+			want := referenceMovingAverage(xs, w)
+			got := MovingAverage(xs, w)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d w=%d: [%d] = %v, want %v", n, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestZScoreMatchesMeanStdDev(t *testing.T) {
+	rnd := newDetRNG(7)
+	for _, n := range []int{0, 1, 2, 3, 300} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rnd(1000)) / 3
+		}
+		m, sd := Mean(xs), StdDev(xs)
+		got := ZScore(xs)
+		for i, x := range xs {
+			want := (x - m) / sd
+			if sd == 0 {
+				want = 0
+			}
+			if got[i] != want {
+				t.Fatalf("n=%d: [%d] = %v, want %v", n, i, got[i], want)
+			}
+		}
+	}
+}

@@ -149,22 +149,43 @@ func (d *Dataset) KFold(k int, seed uint64) ([]Fold, error) {
 // Downsample reduces xs by averaging non-overlapping windows of `factor`
 // samples (trailing partial windows are averaged too).
 func Downsample(xs []float64, factor int) []float64 {
+	return DownsampleInto(nil, xs, factor)
+}
+
+// DownsampleInto is Downsample appending into dst[:0]; dst is grown as
+// needed and must not alias xs. Returns the result slice.
+func DownsampleInto(dst, xs []float64, factor int) []float64 {
 	if factor <= 1 {
-		out := make([]float64, len(xs))
-		copy(out, xs)
-		return out
-	}
-	out := make([]float64, 0, (len(xs)+factor-1)/factor)
-	for i := 0; i < len(xs); i += factor {
-		j := i + factor
-		if j > len(xs) {
-			j = len(xs)
+		if cap(dst) < len(xs) {
+			dst = make([]float64, len(xs))
 		}
+		dst = dst[:len(xs)]
+		copy(dst, xs)
+		return dst
+	}
+	n := (len(xs) + factor - 1) / factor
+	if cap(dst) < n {
+		dst = make([]float64, 0, n)
+	}
+	out := dst[:n]
+	// Full windows first: indexed stores over fixed-width slices keep the
+	// inner loop bounds-check-free (this is the hottest loop in the
+	// serving preprocessing path). Trailing partial window handled after.
+	den := float64(factor)
+	full := len(xs) / factor
+	for b := 0; b < full; b++ {
 		var s float64
-		for _, v := range xs[i:j] {
+		for _, v := range xs[b*factor : (b+1)*factor] {
 			s += v
 		}
-		out = append(out, s/float64(j-i))
+		out[b] = s / den
+	}
+	if rem := len(xs) - full*factor; rem > 0 {
+		var s float64
+		for _, v := range xs[full*factor:] {
+			s += v
+		}
+		out[full] = s / float64(rem)
 	}
 	return out
 }

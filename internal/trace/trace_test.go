@@ -224,3 +224,46 @@ func TestMeanTrace(t *testing.T) {
 		t.Fatal("ragged MeanTrace accepted")
 	}
 }
+
+// referenceDownsample is the pre-optimization append-per-window loop;
+// DownsampleInto's full/partial-window split must reproduce it
+// bit-for-bit.
+func referenceDownsample(xs []float64, factor int) []float64 {
+	if factor <= 1 {
+		return append([]float64(nil), xs...)
+	}
+	var out []float64
+	for i := 0; i < len(xs); i += factor {
+		j := i + factor
+		if j > len(xs) {
+			j = len(xs)
+		}
+		var s float64
+		for _, v := range xs[i:j] {
+			s += v
+		}
+		out = append(out, s/float64(j-i))
+	}
+	return out
+}
+
+func TestDownsampleMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 299, 300, 900} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64((i*2654435761)%1000) / 7
+		}
+		for _, f := range []int{1, 2, 3, 4, 7, n + 1} {
+			want := referenceDownsample(xs, f)
+			got := Downsample(xs, f)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d f=%d: len %d, want %d", n, f, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d f=%d: [%d] = %v, want %v", n, f, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
