@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence bench-smoke bench-obs smoke-obs ci clean
+.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge bench-smoke bench-obs smoke-obs smoke-telemetry ci clean
 
 # Run directory for benchmark artifacts. Every bench target drops all of its
 # outputs — profiles and the machine-readable JSON from cmd/benchjson — into
@@ -123,6 +123,13 @@ check-train-equivalence:
 	$(GO) test -run 'TestTrainBatchedPerSampleEquivalence' -v ./internal/ml \
 		| grep -- '--- PASS: TestTrainBatchedPerSampleEquivalence'
 
+# The telemetry merge property: aggregating two registries through the
+# binary wire format must equal merging their snapshots directly,
+# bucket-for-bucket. Same grep discipline as the other equivalence gates.
+check-telemetry-merge:
+	$(GO) test -run 'TestAggregatorMergeEquivalence' -v ./internal/obs \
+		| grep -- '--- PASS: TestAggregatorMergeEquivalence'
+
 # One-iteration pass over the simulation-side benchmarks: catches bit-rot in
 # benchmark code without paying for stable timings.
 bench-smoke:
@@ -141,7 +148,13 @@ smoke-obs:
 	grep -q '"scenario": "bgnoise/quiet"' smoke-obs-out/run.json
 	rm -rf smoke-obs-out
 
-ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence smoke-obs
+# Telemetry smoke: obstop scrapes its own debug server over HTTP, decodes
+# the binary frame, aggregates it, and prints "obstop selftest ok" — the
+# whole export/scrape/merge path in one short run.
+smoke-telemetry:
+	$(GO) run ./cmd/obstop -selftest | grep -q 'obstop selftest ok'
+
+ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge smoke-obs smoke-telemetry
 
 clean:
 	$(GO) clean

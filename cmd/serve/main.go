@@ -11,7 +11,7 @@
 //	      [-workers N] [-maxbatch 32] [-batchwait 200µs] [-queue N]
 //	      [-deadline 0] [-selftest] [-conc 256] [-duration 5s]
 //	      [-obs] [-progress 2s] [-manifest run.json] [-httpaddr :0]
-//	      [-outdir dir] [-cpuprofile f] [-memprofile f]
+//	      [-telemetry host:port] [-outdir dir] [-cpuprofile f] [-memprofile f]
 //
 // With -selftest the daemon skips the listener and instead drives its own
 // closed-loop load harness (internal/serve's RunLoad) against the
@@ -23,12 +23,20 @@
 // Run manifests (-manifest) record the serve.* histograms with
 // interpolated p50/p95/p99, so tail latency lands in the run artifact,
 // not just in a live /debug/vars scrape.
+//
+// Live telemetry: -progress lines report the last-10 s window (req/s and
+// e2e p50/p95/p99), -httpaddr additionally serves /debug/telemetry (binary
+// snapshot frames cmd/obstop scrapes), /debug/events (the flight recorder
+// as JSON-lines), and /healthz + /readyz probes; -telemetry streams
+// snapshot frames to an aggregator's TCP listener once a second. With
+// -outdir the flight recorder is also dumped to events.jsonl on shutdown.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,13 +69,14 @@ func run() int {
 	obsOn := flag.Bool("obs", false, "enable the observability layer (metrics + span tracing)")
 	progress := flag.Duration("progress", 0, "live progress-line interval on stderr (implies -obs)")
 	manifestPath := flag.String("manifest", "", "write a run-manifest JSON to this file (implies -obs)")
-	httpAddr := flag.String("httpaddr", "", "serve /debug/vars and /debug/pprof on this address (implies -obs)")
+	httpAddr := flag.String("httpaddr", "", "serve /debug/vars, /debug/pprof, /debug/telemetry, /debug/events, /healthz, /readyz on this address (implies -obs)")
+	telemetry := flag.String("telemetry", "", "push telemetry frames to this aggregator TCP address every second (implies -obs)")
 	obsDir := flag.String("outdir", "", "directory observability artifacts land in: manifest, metrics.json, profiles")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if *progress > 0 || *manifestPath != "" || *httpAddr != "" {
+	if *progress > 0 || *manifestPath != "" || *httpAddr != "" || *telemetry != "" {
 		*obsOn = true
 	}
 	if *obsOn {
@@ -95,8 +104,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}()
+	dbgAddr := ""
 	if *httpAddr != "" {
-		dbgAddr, closeDebug, err := obs.ServeDebug(*httpAddr)
+		var closeDebug func() error
+		dbgAddr, closeDebug, err = obs.ServeDebug(*httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -141,15 +152,33 @@ func run() int {
 		return 1
 	}
 
-	rep := obs.StartReporter(os.Stderr, *progress, nil)
+	var pusher *obs.Pusher
+	if *telemetry != "" {
+		pusher = obs.StartPusher(*telemetry, obs.TelemetrySource(), time.Second, obs.Default, obs.DefaultTracer)
+		fmt.Fprintf(os.Stderr, "obs: pushing telemetry to %s as %q\n", *telemetry, obs.TelemetrySource())
+	}
+
+	rep := obs.StartReporter(os.Stderr, *progress, serve.ProgressLine)
 	writeObs := func(runErr error) {
 		rep.Stop()
+		pusher.Stop() // final push carries the span batch
 		if !*obsOn {
 			return
 		}
 		if *obsDir != "" {
 			if err := obs.WriteMetricsFile(filepath.Join(*obsDir, "metrics.json")); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+			}
+			evPath := filepath.Join(*obsDir, "events.jsonl")
+			if f, err := os.Create(evPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				if err := obs.DefaultEvents.WriteJSONL(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "obs: flight recorder dumped to %s (%d events)\n",
+					evPath, len(obs.DefaultEvents.Events()))
 			}
 		}
 		if *manifestPath == "" {
@@ -162,6 +191,12 @@ func run() int {
 		m.Config["seed"] = fmt.Sprint(*seed)
 		m.Config["workers"] = fmt.Sprint(*workers)
 		m.Config["batchwait"] = batchWait.String()
+		m.Config["telemetry.frame_version"] = fmt.Sprint(obs.TelemetryVersion)
+		m.Config["telemetry.windows"] = "10s/10,1m/12"
+		if *telemetry != "" {
+			m.Config["telemetry.push"] = *telemetry
+			m.Config["telemetry.source"] = obs.TelemetrySource()
+		}
 		if runErr != nil {
 			m.Config["error"] = runErr.Error()
 		}
@@ -175,7 +210,24 @@ func run() int {
 	}
 
 	if *selftest {
-		err := runSelftest(srv, sm, *conc, *duration)
+		// The health probes are part of the deployment surface the selftest
+		// validates: spin a loopback debug server when -httpaddr didn't.
+		if dbgAddr == "" {
+			var closeDebug func() error
+			dbgAddr, closeDebug, err = obs.ServeDebug("127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				srv.Stop()
+				return 1
+			}
+			defer closeDebug()
+		}
+		obs.SetReady(true)
+		err := checkHealth(dbgAddr)
+		if err == nil {
+			err = runSelftest(srv, sm, *conc, *duration)
+		}
+		obs.SetReady(false)
 		srv.Stop()
 		writeObs(err)
 		if err != nil {
@@ -193,16 +245,19 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "serve: listening on %s (tier %s, %d workers, batchwait %v)\n",
 		ln.Addr(), sm.Tier, *workers, *batchWait)
+	obs.SetReady(true)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "serve: shutting down")
+		obs.SetReady(false) // fail /readyz first so probes drain traffic
 		ln.Close()
 	}()
 
 	serveErr := srv.Serve(ln)
+	obs.SetReady(false)
 	srv.Stop()
 	writeObs(serveErr)
 	if serveErr != nil {
@@ -210,6 +265,24 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// checkHealth asserts the liveness and readiness probes answer 200 on the
+// debug server — the selftest's check that a deployment's health surface
+// is actually wired, not just compiled.
+func checkHealth(dbgAddr string) error {
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get("http://" + dbgAddr + ep)
+		if err != nil {
+			return fmt.Errorf("selftest: GET %s: %w", ep, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("selftest: GET %s: status %d, want 200", ep, resp.StatusCode)
+		}
+	}
+	fmt.Println("selftest: health endpoints ok (/healthz, /readyz)")
+	return nil
 }
 
 // runSelftest measures the coalesced server (in-process and over a

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -74,6 +75,8 @@ func (c *datasetCache) evictLocked() {
 			delete(c.entries, k)
 			c.order = append(c.order[:i:i], c.order[i+1:]...)
 			cDSEvictions.Inc()
+			obs.Eventf("cache_evict", "core: dataset cache evicted an entry (cap %d, %d retained)",
+				c.cap, len(c.entries))
 			over--
 			evicted = true
 			break

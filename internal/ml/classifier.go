@@ -395,13 +395,13 @@ func predictPrepped(model *Sequential, cc *compiledCache, prep Preprocessor, inL
 		if qm := cc.getQuantized(model); qm != nil {
 			return qm.PredictBatch(X, InferParallelism())
 		}
-		cInferFallbacks.Inc()
+		noteFallback("int8")
 	}
 	if cc != nil && tier >= TierCompiled {
 		if cm := cc.get(model); cm != nil {
 			return cm.PredictBatch(X, InferParallelism())
 		}
-		cInferFallbacks.Inc()
+		noteFallback("compiled")
 	}
 	return model.PredictBatch(X, par)
 }
@@ -434,7 +434,7 @@ func frozenFrom(model *Sequential, cc *compiledCache, tier InferTier) (Frozen, I
 		if qm := cc.getQuantized(model); qm != nil {
 			return qm, TierInt8, nil
 		}
-		cInferFallbacks.Inc()
+		noteFallback("int8")
 	}
 	if cm := cc.get(model); cm != nil {
 		return cm, TierCompiled, nil

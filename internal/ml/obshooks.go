@@ -1,6 +1,10 @@
 package ml
 
-import "repro/internal/obs"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Observability handles for the training engine. Counters and gauges are
 // updated once per epoch (an atomic add against minutes of GEMM work);
@@ -45,3 +49,18 @@ var (
 	cInferCacheMisses = obs.Default.Counter("ml.infer.cache.misses")
 	cInferFallbacks   = obs.Default.Counter("ml.infer.cache.fallbacks")
 )
+
+// fallbackEp marks that a fallback transition was already recorded in the
+// flight recorder: a sticky Compile/Quantize failure falls back on every
+// scoring call, so the recorder gets the first transition, the counter
+// gets them all.
+var fallbackEp atomic.Bool
+
+// noteFallback counts one tier fallback and records the first one per
+// process as a flight-recorder event.
+func noteFallback(tier string) {
+	cInferFallbacks.Inc()
+	if fallbackEp.CompareAndSwap(false, true) {
+		obs.Eventf("fallback", "ml: %s tier unavailable: scoring from a slower tier", tier)
+	}
+}

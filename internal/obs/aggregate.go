@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Aggregator merges telemetry frames from N sources — in-process ingests
+// or TCP connections — into one registry-shaped snapshot and one merged
+// set of manifest rows. Because frames carry absolute cumulative values,
+// the aggregator simply keeps the newest frame per source (by sequence
+// number) and sums at read time: ingest is idempotent, reordered or
+// duplicated pushes cannot double-count, and
+// merge(export(r1), export(r2)) == merge(r1, r2) bucket-for-bucket
+// (TestAggregatorMergeEquivalence).
+type Aggregator struct {
+	mu      sync.Mutex
+	sources map[string]*TelemetryFrame
+}
+
+// Aggregator-side observability (meta-telemetry): frames ingested and
+// frames rejected, on the default registry of the aggregating process.
+var (
+	cAggFrames = Default.Counter("obs.aggregator.frames")
+	cAggBad    = Default.Counter("obs.aggregator.rejected")
+)
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{sources: make(map[string]*TelemetryFrame)}
+}
+
+// Ingest folds one frame in. Frames must name a source; a frame whose Seq
+// is older than the retained one for the same source is dropped (stale
+// pushes on a reconnect), which is not an error.
+func (a *Aggregator) Ingest(f *TelemetryFrame) error {
+	if f == nil || f.Source == "" {
+		cAggBad.Inc()
+		return errors.New("obs: aggregator: frame without a source")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if old, ok := a.sources[f.Source]; ok && old.Seq > f.Seq {
+		return nil
+	}
+	a.sources[f.Source] = f
+	cAggFrames.Inc()
+	return nil
+}
+
+// Sources lists the source names seen so far, sorted.
+func (a *Aggregator) Sources() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return sortedKeys(a.sources)
+}
+
+// frames returns the retained frames in source order.
+func (a *Aggregator) frames() []*TelemetryFrame {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fs := make([]*TelemetryFrame, 0, len(a.sources))
+	for _, k := range sortedKeys(a.sources) {
+		fs = append(fs, a.sources[k])
+	}
+	return fs
+}
+
+// Merged sums every source's latest snapshot into one.
+func (a *Aggregator) Merged() Snapshot {
+	fs := a.frames()
+	snaps := make([]Snapshot, len(fs))
+	for i, f := range fs {
+		snaps[i] = f.Metrics
+	}
+	return MergeSnapshots(snaps...)
+}
+
+// MergedCells concatenates every source's manifest rows, stamped with
+// their source, sorted by scenario then source — the merged run manifest's
+// cell table.
+func (a *Aggregator) MergedCells() []CellSummary {
+	var cells []CellSummary
+	for _, f := range a.frames() {
+		for _, c := range f.Cells {
+			if c.Source == "" {
+				c.Source = f.Source
+			}
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Scenario != cells[j].Scenario {
+			return cells[i].Scenario < cells[j].Scenario
+		}
+		return cells[i].Source < cells[j].Source
+	})
+	return cells
+}
+
+// MergedManifest builds one run manifest from everything ingested: merged
+// metrics, merged per-cell rows, and the contributing sources recorded in
+// the config so the merged artifact is self-describing.
+func (a *Aggregator) MergedManifest(name string) *Manifest {
+	m := NewManifest(name)
+	m.Metrics = a.Merged()
+	m.Cells = a.MergedCells()
+	m.Config["telemetry.sources"] = strings.Join(a.Sources(), ",")
+	m.Config["telemetry.frame_version"] = fmt.Sprint(TelemetryVersion)
+	return m
+}
+
+// MergeSnapshots sums snapshots element-wise: counters and gauges add;
+// histograms with identical bounds add bucket-for-bucket (mismatched
+// bounds keep the first registration, mirroring Registry.Histogram's
+// first-bounds-win rule); windows add counts and rates and merge their
+// histograms the same way. Quantile summaries are recomputed from the
+// merged buckets.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range s.Histograms {
+			out.Histograms[k] = mergeHist(out.Histograms[k], h)
+		}
+		if len(s.Windows) > 0 && out.Windows == nil {
+			out.Windows = make(map[string]WindowSnapshot)
+		}
+		for k, w := range s.Windows {
+			acc := out.Windows[k]
+			if acc.WindowMS == 0 {
+				acc.WindowMS = w.WindowMS
+			}
+			acc.Count += w.Count
+			acc.Rate += w.Rate
+			if w.Hist != nil {
+				var base HistogramSnapshot
+				if acc.Hist != nil {
+					base = *acc.Hist
+				}
+				merged := mergeHist(base, *w.Hist)
+				acc.Hist = &merged
+			}
+			out.Windows[k] = acc
+		}
+	}
+	return out
+}
+
+// mergeHist adds b into a bucket-for-bucket. An empty a (no bounds)
+// adopts b's shape; mismatched bounds keep a unchanged.
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	if len(a.Bounds) == 0 {
+		a.Bounds = append([]float64(nil), b.Bounds...)
+		a.Counts = make([]int64, len(b.Bounds)+1)
+	} else if !sameBounds(a.Bounds, b.Bounds) {
+		return a
+	}
+	for i := range a.Counts {
+		if i < len(b.Counts) {
+			a.Counts[i] += b.Counts[i]
+		}
+	}
+	a.Count += b.Count
+	a.Sum += b.Sum
+	a.P50, a.P95, a.P99 = 0, 0, 0
+	a.summarize()
+	return a
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ServeTCP accepts connections on ln and ingests the telemetry frames each
+// one streams until the listener closes. A malformed frame drops its
+// connection (pushers reconnect and re-push absolute state, so nothing is
+// lost).
+func (a *Aggregator) ServeTCP(ln net.Listener) error {
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer c.Close()
+			a.ingestStream(c)
+		}()
+	}
+}
+
+// ingestStream reads length-prefixed telemetry frames until EOF or the
+// first malformed frame.
+func (a *Aggregator) ingestStream(rd io.Reader) {
+	br := bufio.NewReader(rd)
+	var hdr [4]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxTelemetryFrame {
+			cAggBad.Inc()
+			return
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		f, err := decodeTelemetryPayload(payload)
+		if err != nil {
+			cAggBad.Inc()
+			return
+		}
+		a.Ingest(f)
+	}
+}
+
+// Pusher periodically exports a registry as telemetry frames to an
+// aggregator's TCP listener. Pushes are absolute snapshots, so a lost
+// connection costs staleness, not data: the pusher redials on the next
+// tick and the first frame after reconnect restores the full state.
+type Pusher struct {
+	addr     string
+	source   string
+	interval time.Duration
+	reg      *Registry
+	tr       *Tracer
+
+	seq    atomic.Uint64
+	conn   net.Conn
+	buf    []byte
+	errs   *Counter
+	pushes *Counter
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartPusher begins pushing reg's snapshots to addr every interval
+// (default 1 s) under the given source name. The final push on Stop
+// includes the tracer's span batch (pass nil to skip spans entirely).
+// Dial failures are retried every tick and counted, never fatal: the
+// workload must not depend on its telemetry sink being up.
+func StartPusher(addr, source string, interval time.Duration, reg *Registry, tr *Tracer) *Pusher {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if source == "" {
+		source = DefaultTelemetrySource()
+	}
+	p := &Pusher{
+		addr: addr, source: source, interval: interval, reg: reg, tr: tr,
+		errs:   Default.Counter("obs.telemetry.push_errors"),
+		pushes: Default.Counter("obs.telemetry.pushes"),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+// DefaultTelemetrySource is the source name used when none is configured:
+// host:pid, unique enough for one aggregation domain.
+func DefaultTelemetrySource() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+func (p *Pusher) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.push(nil)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// push exports one frame (with the given tracer for the final push) and
+// writes it, redialing if needed.
+func (p *Pusher) push(tr *Tracer) {
+	f := ExportFrame(p.source, p.seq.Add(1), p.reg, tr)
+	buf, err := AppendTelemetryFrame(p.buf[:0], f)
+	if err != nil {
+		p.errs.Inc()
+		return
+	}
+	p.buf = buf
+	if p.conn == nil {
+		c, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
+		if err != nil {
+			p.errs.Inc()
+			return
+		}
+		p.conn = c
+	}
+	if _, err := p.conn.Write(p.buf); err != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.errs.Inc()
+		return
+	}
+	p.pushes.Inc()
+}
+
+// Stop pushes one final frame — including the span batch when the pusher
+// was given a tracer — and closes the connection. Idempotent.
+func (p *Pusher) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+		p.push(p.tr)
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+	})
+}

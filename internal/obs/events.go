@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured flight-recorder entry: a timestamp, a short
+// machine-greppable kind ("overload", "deadline", "dscache_evict",
+// "fallback", "warning", ...), and a human-readable message.
+type Event struct {
+	Time time.Time `json:"t"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg"`
+}
+
+// EventRing is a bounded ring of recent events — the flight recorder.
+// When the ring is full the oldest event is overwritten, so a dump always
+// shows the most recent history; Total counts everything ever recorded so
+// overwrites are visible. All methods are nil-safe.
+//
+// Recording takes a mutex, so callers on hot paths should record state
+// *transitions* (entering/leaving overload) or sampled exemplars rather
+// than every occurrence — the convention internal/serve follows.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // index the next event lands in
+	total uint64
+}
+
+// DefaultEvents is the process-wide flight recorder. It is dumped by the
+// /debug/events endpoint and, by convention, by daemons on clean shutdown.
+var DefaultEvents = NewEventRing(1024)
+
+// NewEventRing returns a flight recorder retaining the last capacity
+// events (minimum 1).
+func NewEventRing(capacity int) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{buf: make([]Event, 0, capacity)}
+}
+
+// Eventf records an event into the default ring. No-op (and free of
+// formatting cost) when observability is off.
+func Eventf(kind, format string, args ...any) {
+	if !On() {
+		return
+	}
+	DefaultEvents.Recordf(kind, format, args...)
+}
+
+// Recordf formats and records one event.
+func (r *EventRing) Recordf(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: time.Now().UTC(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (r *EventRing) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total reports how many events were ever recorded (≥ len(Events()); the
+// difference is how much history the ring overwrote).
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteJSONL dumps the retained events as JSON-lines, oldest first.
+func (r *EventRing) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends '\n' per value: JSONL
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards retained events and the total (tests and run boundaries).
+func (r *EventRing) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.total = 0
+	r.mu.Unlock()
+}

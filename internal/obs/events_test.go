@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventRingWraps(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 10; i++ {
+		r.Recordf("k", "event %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := "event " + string(rune('6'+i))
+		if ev.Msg != want {
+			t.Fatalf("event %d = %q, want %q (oldest-first order)", i, ev.Msg, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.Total() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestEventRingJSONL(t *testing.T) {
+	r := NewEventRing(8)
+	r.Recordf("overload", "queue full at depth %d", 256)
+	r.Recordf("deadline", "expired after %s", "5ms")
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Kind == "" || ev.Msg == "" || ev.Time.IsZero() {
+			t.Fatalf("incomplete event: %+v", ev)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}
+
+// Eventf is the gated package-level hook: off means no formatting and no
+// recording; Warnf mirrors into the flight recorder under kind "warning".
+func TestEventfGatingAndWarnMirror(t *testing.T) {
+	prev := On()
+	defer func() {
+		if prev {
+			Enable()
+		} else {
+			Disable()
+		}
+	}()
+	DefaultEvents.Reset()
+	ResetWarnings()
+	defer func() { WarnWriter = nil; ResetWarnings(); DefaultEvents.Reset() }()
+	WarnWriter = nil
+
+	Disable()
+	Eventf("k", "dropped while off")
+	Warnf("warning while off")
+	if n := len(DefaultEvents.Events()); n != 0 {
+		t.Fatalf("recorded %d events while off", n)
+	}
+
+	Enable()
+	Eventf("k", "kept while on")
+	Warnf("trimmed %d samples", 7)
+	evs := DefaultEvents.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[1].Kind != "warning" || !strings.Contains(evs[1].Msg, "trimmed 7") {
+		t.Fatalf("warning not mirrored: %+v", evs[1])
+	}
+}

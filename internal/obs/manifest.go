@@ -31,8 +31,12 @@ type HostInfo struct {
 // by the convention the core package follows: a "cell" span carrying a
 // "scenario" attribute, with "collect" and "evaluate" children.
 type CellSummary struct {
-	Scenario string  `json:"scenario"`
-	WallMS   float64 `json:"wall_ms"`
+	Scenario string `json:"scenario"`
+	// Source names the process that produced the row in a merged
+	// multi-source manifest (empty in single-process manifests — the
+	// Aggregator stamps it from the frame's source on ingest).
+	Source string  `json:"source,omitempty"`
+	WallMS float64 `json:"wall_ms"`
 	// CPUMS approximates the cell's compute time as the sum of wall time
 	// its collection jobs and evaluation folds spent holding compute
 	// slots — the slot-held sections are the CPU-bound work.

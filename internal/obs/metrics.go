@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value is
@@ -147,11 +148,14 @@ type HistogramSnapshot struct {
 // interpolates from 0 when its upper edge is positive (observations are
 // assumed non-negative there), from the edge itself otherwise; ranks
 // landing in the +Inf overflow bucket clamp to the largest finite edge,
-// so the result is always finite and JSON-safe. An empty histogram (or
-// one with no finite buckets) returns NaN.
+// so the result is always finite and JSON-safe. Degenerate inputs — an
+// empty or zero-count histogram, no bounds, q out of range — return 0
+// rather than NaN, so a quantile can flow into benchmark metrics,
+// progress lines, and JSON manifests without every consumer re-guarding
+// (cmd/benchjson still drops non-finite columns as defense in depth).
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count <= 0 || len(h.Bounds) == 0 || q <= 0 || q > 1 {
-		return math.NaN()
+		return 0
 	}
 	target := q * float64(h.Count)
 	var cum float64
@@ -172,19 +176,15 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 }
 
 // summarize fills the quantile summary fields from the bucket counts.
+// Quantile is total (degenerate histograms yield 0), so the fields are
+// always JSON-safe.
 func (h *HistogramSnapshot) summarize() {
 	if h.Count == 0 {
 		return
 	}
-	if p := h.Quantile(0.50); !math.IsNaN(p) {
-		h.P50 = p
-	}
-	if p := h.Quantile(0.95); !math.IsNaN(p) {
-		h.P95 = p
-	}
-	if p := h.Quantile(0.99); !math.IsNaN(p) {
-		h.P99 = p
-	}
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
 }
 
 // Snapshot is a registry's point-in-time state, JSON-serializable and
@@ -193,6 +193,9 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Windows holds the rolling instruments' windowed state (counts,
+	// rates, merged window histograms), keyed by instrument name.
+	Windows map[string]WindowSnapshot `json:"windows,omitempty"`
 }
 
 // Registry is a named metrics store. Metric lookups are get-or-create and
@@ -204,6 +207,8 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
+	rollc    map[string]*RollingCounter
+	rollh    map[string]*RollingHistogram
 }
 
 // Default is the process-wide registry every subsystem instruments.
@@ -216,6 +221,8 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
+		rollc:    make(map[string]*RollingCounter),
+		rollh:    make(map[string]*RollingHistogram),
 	}
 }
 
@@ -284,6 +291,42 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// RollingCounter returns the named rolling counter, creating it on first
+// use with the given window and epoch-bucket count (later calls reuse the
+// first registration's shape). Rolling and cumulative instruments share a
+// name space in Snapshot.Windows, so give rolling instruments distinct
+// names (the serve convention is a ".win." infix).
+func (r *Registry) RollingCounter(name string, window time.Duration, buckets int) *RollingCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.rollc[name]
+	if !ok {
+		c = NewRollingCounter(window, buckets)
+		r.rollc[name] = c
+	}
+	return c
+}
+
+// RollingHistogram returns the named rolling histogram, creating it on
+// first use with the given window, epoch-bucket count, and upper bucket
+// bounds (later calls reuse the first registration's shape).
+func (r *Registry) RollingHistogram(name string, window time.Duration, buckets int, bounds ...float64) *RollingHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.rollh[name]
+	if !ok {
+		h = NewRollingHistogram(window, buckets, bounds...)
+		r.rollh[name] = h
+	}
+	return h
+}
+
 // Snapshot captures every metric's current value.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
@@ -317,6 +360,26 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		hs.summarize()
 		s.Histograms[name] = hs
+	}
+	if len(r.rollc)+len(r.rollh) > 0 {
+		s.Windows = make(map[string]WindowSnapshot, len(r.rollc)+len(r.rollh))
+		for name, c := range r.rollc {
+			s.Windows[name] = WindowSnapshot{
+				WindowMS: c.Window().Milliseconds(),
+				Count:    c.Total(),
+				Rate:     c.Rate(),
+			}
+		}
+		for name, h := range r.rollh {
+			hs := h.Snapshot()
+			w := h.Window()
+			s.Windows[name] = WindowSnapshot{
+				WindowMS: w.Milliseconds(),
+				Count:    hs.Count,
+				Rate:     float64(hs.Count) / w.Seconds(),
+				Hist:     &hs,
+			}
+		}
 	}
 	return s
 }
@@ -364,6 +427,12 @@ func (r *Registry) Reset() {
 		}
 		h.count.Store(0)
 		h.sum.Store(0)
+	}
+	for _, c := range r.rollc {
+		c.reset()
+	}
+	for _, h := range r.rollh {
+		h.reset()
 	}
 }
 

@@ -49,13 +49,14 @@ var (
 )
 
 // Warnf records a pipeline warning (e.g. excessive dataset trimming) and
-// echoes it to WarnWriter. Warnings end up in the run manifest. No-op when
-// observability is off.
+// echoes it to WarnWriter. Warnings end up in the run manifest and in the
+// flight recorder (kind "warning"). No-op when observability is off.
 func Warnf(format string, args ...any) {
 	if !On() {
 		return
 	}
 	msg := fmt.Sprintf(format, args...)
+	DefaultEvents.Recordf("warning", "%s", msg)
 	warnMu.Lock()
 	defer warnMu.Unlock()
 	if len(warnings) < maxWarnings {

@@ -21,6 +21,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -120,6 +121,13 @@ type Server struct {
 
 	openSession func() session // test seam; defaults to Model.NewSession
 
+	// Episode flags for the flight recorder: hot paths record state
+	// *transitions* (entering/leaving an overload or deadline-shedding
+	// episode), not every shed, so a saturated server emits two events per
+	// episode instead of thousands per second.
+	overloadEp atomic.Bool
+	deadlineEp atomic.Bool
+
 	mu      sync.RWMutex // guards stopped vs. queue close
 	stopped bool
 	wg      sync.WaitGroup
@@ -140,7 +148,27 @@ var (
 	hE2E       = obs.Default.Histogram("serve.e2e_us", usBounds...)
 	hBatchSize = obs.Default.Histogram("serve.batch_size",
 		1, 2, 4, 8, 12, 16, 24, 32, 48, 64)
+
+	// Windowed views of the same signals: a 10 s window (1 s epochs) feeding
+	// live progress lines, and a 1 m window (5 s epochs) for trend. The
+	// write cost per request is one atomic index load plus the atomic adds a
+	// cumulative instrument already pays — no clock read, no allocation.
+	wRequests   = obs.Default.RollingCounter("serve.win.requests", 10*time.Second, 10)
+	wE2E        = obs.Default.RollingHistogram("serve.win.e2e_us", 10*time.Second, 10, usBounds...)
+	wRequests1m = obs.Default.RollingCounter("serve.win1m.requests", time.Minute, 12)
+	wE2E1m      = obs.Default.RollingHistogram("serve.win1m.e2e_us", time.Minute, 12, usBounds...)
 )
+
+// ProgressLine renders the serving layer's live view for obs.StartReporter:
+// request rate and end-to-end latency quantiles over the last 10 s window,
+// then the cumulative totals the lifetime counters hold.
+func ProgressLine() string {
+	hs := wE2E.Snapshot()
+	return fmt.Sprintf(
+		"win10s %.1f req/s p50=%.0fµs p95=%.0fµs p99=%.0fµs | total req=%d batches=%d shed=%d/%d",
+		wRequests.Rate(), hs.P50, hs.P95, hs.P99,
+		cRequests.Value(), cBatches.Value(), cShedQueue.Value(), cShedDead.Value())
+}
 
 // spanSampleMask samples one request span per 1024 submissions: enough to
 // see representative request timelines in a manifest without the tracer's
@@ -221,6 +249,8 @@ func (s *Server) Classify(values []float64) (Result, error) {
 		sl.deadline = time.Time{}
 	}
 	cRequests.Inc()
+	wRequests.Inc()
+	wRequests1m.Inc()
 	if s.seq.Add(1)&spanSampleMask == 0 {
 		sl.span = obs.StartSpan(nil, "serve.request")
 	} else {
@@ -239,9 +269,16 @@ func (s *Server) Classify(values []float64) (Result, error) {
 	select {
 	case s.queue <- sl:
 		s.mu.RUnlock()
+		if s.overloadEp.Load() && s.overloadEp.CompareAndSwap(true, false) {
+			obs.Eventf("overload", "serve: recovered: queue accepting again")
+		}
 	default:
 		s.mu.RUnlock()
 		cShedQueue.Inc()
+		if s.overloadEp.CompareAndSwap(false, true) {
+			obs.Eventf("overload", "serve: queue full (depth %d): shedding with ErrOverloaded",
+				s.cfg.QueueDepth)
+		}
 		sl.span.SetAttr("shed", "overload").End()
 		s.slots.Put(sl)
 		return Result{}, ErrOverloaded
@@ -273,10 +310,17 @@ func (s *Server) admit(sl *slot, batch []*slot) []*slot {
 	now := time.Now()
 	if !sl.deadline.IsZero() && now.After(sl.deadline) {
 		cShedDead.Inc()
+		if s.deadlineEp.CompareAndSwap(false, true) {
+			obs.Eventf("deadline", "serve: deadline expired after %s queued (budget %s): dropping",
+				now.Sub(sl.enq).Round(time.Microsecond), s.cfg.Deadline)
+		}
 		sl.err = ErrDeadlineExceeded
 		sl.span.SetAttr("shed", "deadline").End()
 		sl.done <- struct{}{}
 		return batch
+	}
+	if s.deadlineEp.Load() && s.deadlineEp.CompareAndSwap(true, false) {
+		obs.Eventf("deadline", "serve: recovered: requests meeting deadlines again")
 	}
 	hQueueWait.Observe(float64(now.Sub(sl.enq).Nanoseconds()) / 1e3)
 	return append(batch, sl)
@@ -375,6 +419,8 @@ func (s *Server) worker() {
 				bsl.err = nil
 				e2e := float64(now.Sub(bsl.enq).Nanoseconds()) / 1e3
 				hE2E.Observe(e2e)
+				wE2E.Observe(e2e)
+				wE2E1m.Observe(e2e)
 				bsl.span.SetAttr("e2e_us", e2e).SetAttr("batch", len(batch)).End()
 				bsl.done <- struct{}{}
 			}
