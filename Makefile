@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge bench-smoke bench-obs smoke-obs smoke-telemetry ci clean
+.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke bench-collect bench-collect-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge bench-smoke bench-obs smoke-obs smoke-telemetry ci clean
 
 # Run directory for benchmark artifacts. Every bench target drops all of its
 # outputs — profiles and the machine-readable JSON from cmd/benchjson — into
@@ -29,7 +29,7 @@ test:
 # gradient-shard worker pool, fold/collection pools, event engine, machine
 # lifecycle, metrics registry/tracer) under the race detector.
 race:
-	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs ./internal/serve
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs ./internal/serve ./internal/trace
 
 # Full benchmark sweep (slow: regenerates every table/figure at bench scale).
 # CPU/heap profiles land next to the parsed BENCH.json in $(OUTDIR) instead
@@ -99,6 +99,22 @@ bench-serve: | $(OUTDIR)
 bench-serve-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime 1x ./internal/serve
 
+# Columnar trace store: CollectDataset→Fit end to end, seed-era row storage
+# vs columnar arena (cold legs), plus the grid steady state under a
+# resident-byte budget where the mmap-backed second cache tier replaces
+# re-simulation (budget legs), and the bounded-window spill path with its
+# resident-bytes column. BENCH_collect.json at the repo root is the
+# committed baseline.
+bench-collect: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkCollectFit|BenchmarkCollectSpill' -benchtime 5x -benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_collect.json
+
+# One-iteration pass over the collect→fit benchmarks: catches bit-rot in
+# the row-baseline and budget-cache plumbing without paying for stable
+# timings.
+bench-collect-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkCollectFit|BenchmarkCollectSpill' -benchtime 1x ./internal/core
+
 # The compiled inference path must agree (argmax per trace) with the float64
 # reference on every golden scenario. Run narrowly with -v and grep for the
 # PASS line: a skipped test prints no PASS, so silent skips fail ci too.
@@ -154,7 +170,7 @@ smoke-obs:
 smoke-telemetry:
 	$(GO) run ./cmd/obstop -selftest | grep -q 'obstop selftest ok'
 
-ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge smoke-obs smoke-telemetry
+ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke bench-collect-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge smoke-obs smoke-telemetry
 
 clean:
 	$(GO) clean

@@ -49,6 +49,8 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	cells := flag.Int("cells", 0, "max experiment cells in flight (0 = unbounded; compute stays CPU-bounded)")
 	dsCacheCap := flag.Int("dscache", 8, "datasets retained by the in-process collection cache (0 disables)")
+	dsBudget := flag.Int64("dsbudget", 0, "resident-byte budget for cached datasets (0 = unlimited); overflow spills to -dsspill or evicts")
+	dsSpill := flag.String("dsspill", "", "directory for mmap-backed dataset shard spill files (enables the disk cache tier)")
 	clf := flag.String("clf", "", "classifier for all experiments: centroid (default), knn, logreg, cnn")
 	infer := flag.String("infer", "compiled", "inference engine for trained models: compiled (frozen f32 fast path), int8 (quantized tier, falls back to compiled per model), or reference (f64 training graph)")
 	inferPar := flag.Int("inferpar", 0, "intra-op workers for compiled inference GEMMs (0 = GOMAXPROCS); output is identical for every value")
@@ -62,6 +64,8 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	core.SetDatasetCacheCapacity(*dsCacheCap)
+	core.SetDatasetCacheBudget(*dsBudget)
+	core.SetDatasetCacheSpillDir(*dsSpill)
 
 	mk, err := core.ClassifierByName(*clf)
 	if err != nil {
@@ -171,6 +175,8 @@ func run() int {
 		m.Config["trainbatch"] = *trainBatch
 		m.Config["cells"] = fmt.Sprint(*cells)
 		m.Config["dscache"] = fmt.Sprint(*dsCacheCap)
+		m.Config["dsbudget"] = fmt.Sprint(*dsBudget)
+		m.Config["dsspill"] = *dsSpill
 		if runErr != nil {
 			m.Config["error"] = runErr.Error()
 		}

@@ -73,6 +73,13 @@ type Config struct {
 	// attacker records 30 counters scattered over 15 000 slots. Zero
 	// defaults to Period (one slot per sample).
 	SlotUnit sim.Duration
+	// Dst, when its capacity covers Samples, provides the storage for the
+	// trace values (a row of a trace.Store arena), so collection allocates
+	// nothing per trace. Values are written into Dst's backing array
+	// starting at element 0; with insufficient capacity a fresh slice is
+	// allocated as before and Dst is ignored. The caller detects which
+	// happened by comparing backing arrays (trace.Builder.Finish does).
+	Dst []float64
 }
 
 func (c *Config) normalize() error {
@@ -154,7 +161,16 @@ func run(m *kernel.Machine, cfg Config, name string, sample func(cursor, tEnd si
 	hardStop := cursor + sim.Time(cfg.Samples)*unit*4 + 2*sim.Second
 	var vals []float64
 	if cfg.SlotIndexed {
-		vals = make([]float64, cfg.Samples)
+		if cap(cfg.Dst) >= cfg.Samples {
+			vals = cfg.Dst[:cfg.Samples]
+			for i := range vals {
+				vals[i] = 0
+			}
+		} else {
+			vals = make([]float64, cfg.Samples)
+		}
+	} else if cap(cfg.Dst) >= cfg.Samples {
+		vals = cfg.Dst[:0]
 	} else {
 		vals = make([]float64, 0, cfg.Samples)
 	}

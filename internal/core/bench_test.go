@@ -81,7 +81,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := collectDataset(scn, sc, nil); err != nil {
+		if _, _, err := collectDataset(scn, sc, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -100,7 +100,7 @@ func BenchmarkObsEnabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		obs.DefaultTracer.Reset()
 		sp := obs.StartSpan(nil, "bench")
-		if _, _, err := collectDataset(scn, sc, sp); err != nil {
+		if _, _, err := collectDataset(scn, sc, sp, nil); err != nil {
 			b.Fatal(err)
 		}
 		sp.End()

@@ -64,7 +64,7 @@ func (s Scale) NonSensitiveLabel() int { return s.Sites }
 // CollectOne simulates a single labeled trace for the scenario: it builds a
 // fresh machine, arms any defenses, loads the page, and runs the attacker.
 func CollectOne(scn Scenario, profile website.Profile, label, visit int, root uint64) (trace.Trace, error) {
-	return collectOne(&kernel.Machine{}, scn, profile, label, visit, root)
+	return collectOne(&kernel.Machine{}, scn, profile, label, visit, root, nil)
 }
 
 // collectOne is CollectOne on a caller-owned machine arena: the machine is
@@ -72,7 +72,9 @@ func CollectOne(scn Scenario, profile website.Profile, label, visit int, root ui
 // recycle the engine slab, cores, and controller instead of rebuilding the
 // object graph per visit. Reset machines are bit-identical to fresh ones
 // (kernel.TestResetEqualsFresh), so arena reuse cannot change trace bytes.
-func collectOne(m *kernel.Machine, scn Scenario, profile website.Profile, label, visit int, root uint64) (trace.Trace, error) {
+// dst, when non-nil, is the caller-owned storage (a trace.Store arena row)
+// the attacker records into, making the whole trace allocation-free.
+func collectOne(m *kernel.Machine, scn Scenario, profile website.Profile, label, visit int, root uint64, dst []float64) (trace.Trace, error) {
 	if err := scn.normalize(); err != nil {
 		return trace.Trace{}, err
 	}
@@ -120,6 +122,7 @@ func collectOne(m *kernel.Machine, scn Scenario, profile website.Profile, label,
 		Period:  scn.Period,
 		Samples: samples,
 		Variant: scn.Variant,
+		Dst:     dst,
 	}
 	if _, ok := tm.(*clockface.Randomized); ok {
 		cfg.SlotIndexed = true
@@ -155,24 +158,38 @@ type collectJob struct {
 	slot    int
 }
 
+// rowSink receives finished traces straight into pre-reserved storage:
+// Row(slot) hands a worker the arena row to record into and Finish(slot, tr)
+// publishes the result. trace.Builder and trace.SpillBuilder implement it.
+type rowSink interface {
+	Row(i int) []float64
+	Finish(i int, tr trace.Trace)
+}
+
 // runCollectJobs executes the jobs across par workers (0 = NumCPU), failing
 // fast: the first error cancels all undispatched jobs, and in-flight workers
 // exit after their current job. newRun is called once per worker so each
 // worker can own private per-worker state (a machine arena); every job
 // additionally holds a global compute slot, so concurrently running
-// experiment cells share one CPU budget. Alongside the traces it returns the
+// experiment cells share one CPU budget. With a non-nil sink, each job
+// records into sink.Row(j.slot) and publishes via sink.Finish (zero
+// per-trace allocation; the returned slice is nil); otherwise results come
+// back as a slice indexed by slot. Alongside the traces it returns the
 // total slot-held (compute) time in nanoseconds, and records a sampled
 // "trace" span per traceSpanSample-th job under parent. The returned error
 // wraps the failing job's scenario, domain, and visit so a bad simulation is
 // traceable without rerunning the sweep.
-func runCollectJobs(scenario string, jobs []collectJob, par int, parent *obs.Span, newRun func() func(collectJob) (trace.Trace, error)) ([]trace.Trace, int64, error) {
+func runCollectJobs(scenario string, jobs []collectJob, par int, parent *obs.Span, sink rowSink, newRun func() func(collectJob, []float64) (trace.Trace, error)) ([]trace.Trace, int64, error) {
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
 	if par > len(jobs) {
 		par = len(jobs)
 	}
-	results := make([]trace.Trace, len(jobs))
+	var results []trace.Trace
+	if sink == nil {
+		results = make([]trace.Trace, len(jobs))
+	}
 	var (
 		once     sync.Once
 		firstErr error
@@ -199,7 +216,11 @@ func runCollectJobs(scenario string, jobs []collectJob, par int, parent *obs.Spa
 					tsp = obs.StartSpan(parent, "trace")
 					tsp.SetAttr("domain", j.profile.Domain).SetAttr("visit", j.visit)
 				}
-				tr, err := run(j)
+				var dst []float64
+				if sink != nil {
+					dst = sink.Row(j.slot)
+				}
+				tr, err := run(j, dst)
 				busyNS.Add(releaseSlot(t0))
 				tsp.End()
 				if err != nil {
@@ -207,7 +228,11 @@ func runCollectJobs(scenario string, jobs []collectJob, par int, parent *obs.Spa
 						scenario, j.profile.Domain, j.visit, err))
 					return
 				}
-				results[j.slot] = tr
+				if sink != nil {
+					sink.Finish(j.slot, tr)
+				} else {
+					results[j.slot] = tr
+				}
 			}
 		}()
 	}
@@ -258,9 +283,10 @@ func collectDatasetSpanned(parent *obs.Span, scn Scenario, sc Scale) (*trace.Dat
 	sp.SetAttr("scenario", scn.Name)
 	ran := false
 	var busy int64
-	ds, err := dsCache.getOrCollect(datasetCacheKey(scn, sc), func() (*trace.Dataset, error) {
+	key := datasetCacheKey(scn, sc)
+	ds, err := dsCache.getOrCollect(key, func() (*trace.Dataset, error) {
 		ran = true
-		d, b, err := collectDataset(scn, sc, sp)
+		d, b, err := collectDataset(scn, sc, sp, dsCache.planSpill(key, datasetJobCount(sc), scn.traceCapacity()))
 		busy = b
 		return d, err
 	})
@@ -277,19 +303,16 @@ func collectDatasetSpanned(parent *obs.Span, scn Scenario, sc Scale) (*trace.Dat
 	return &out, nil
 }
 
-// collectDataset is the uncached collection path. It reports the total
-// slot-held compute time alongside the dataset; parent (may be nil) is the
-// span sampled per-trace spans attach to.
-func collectDataset(scn Scenario, sc Scale, parent *obs.Span) (*trace.Dataset, int64, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, 0, err
-	}
-	if err := scn.normalize(); err != nil {
-		return nil, 0, err
-	}
-	domains := website.ClosedWorldDomains()[:sc.Sites]
+// datasetJobCount returns how many traces CollectDataset will simulate for
+// the scale, without building the job list.
+func datasetJobCount(sc Scale) int { return sc.Sites*sc.TracesPerSite + sc.OpenWorld }
 
-	var jobs []collectJob
+// datasetJobs builds the deterministic job list: closed-world classes are
+// the first Sites domains of Appendix A, then OpenWorld traces each from a
+// unique generated site sharing the non-sensitive class.
+func datasetJobs(sc Scale) []collectJob {
+	domains := website.ClosedWorldDomains()[:sc.Sites]
+	jobs := make([]collectJob, 0, datasetJobCount(sc))
 	for i, d := range domains {
 		p := website.ProfileFor(d)
 		for v := 0; v < sc.TracesPerSite; v++ {
@@ -304,44 +327,88 @@ func collectDataset(scn Scenario, sc Scale, parent *obs.Span) (*trace.Dataset, i
 			slot:    len(jobs),
 		})
 	}
+	return jobs
+}
 
-	results, busy, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, parent, func() func(collectJob) (trace.Trace, error) {
-		arena := &kernel.Machine{}
-		return func(j collectJob) (trace.Trace, error) {
-			return collectOne(arena, scn, j.profile, j.label, j.visit, sc.Seed)
-		}
-	})
-	if err != nil {
-		return nil, busy, err
+// collectDataset is the uncached collection path: workers record straight
+// into a columnar trace.Store arena (one contiguous value block, no
+// per-trace slices). With a spill plan the arena is a bounded window
+// flushed to an mmap-backed shard file chunk by chunk, so resident value
+// memory never exceeds the window no matter the dataset size; the job
+// stream, seeds, and trace bytes are identical either way. It reports the
+// total slot-held compute time alongside the dataset; parent (may be nil)
+// is the span sampled per-trace spans attach to.
+func collectDataset(scn Scenario, sc Scale, parent *obs.Span, plan *spillPlan) (*trace.Dataset, int64, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, 0, err
 	}
-
+	if err := scn.normalize(); err != nil {
+		return nil, 0, err
+	}
+	jobs := datasetJobs(sc)
+	stride := scn.traceCapacity()
 	classes := sc.Sites
 	if sc.OpenWorld > 0 {
 		classes++
 	}
-	ds := &trace.Dataset{NumClasses: classes, Traces: results}
-	// Trace lengths can differ by a sample or two under jittered timers;
-	// trim to the shortest so the dataset validates. A degenerate result —
-	// any trace with zero samples — would silently truncate every trace to
-	// nothing, so refuse it instead.
-	minLen := len(results[0].Values)
-	for _, t := range results {
-		if len(t.Values) < minLen {
-			minLen = len(t.Values)
+	newRun := func() func(collectJob, []float64) (trace.Trace, error) {
+		arena := &kernel.Machine{}
+		return func(j collectJob, dst []float64) (trace.Trace, error) {
+			return collectOne(arena, scn, j.profile, j.label, j.visit, sc.Seed, dst)
 		}
 	}
-	if minLen == 0 {
-		return nil, busy, fmt.Errorf("core: collect %q: a trace produced no samples; refusing to trim dataset to zero length", scn.Name)
+
+	var (
+		st   *trace.Store
+		busy int64
+	)
+	if plan != nil {
+		sb, err := trace.NewSpillBuilder(plan.path, len(jobs), stride, plan.windowRows)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: collect %q: spill: %w", scn.Name, err)
+		}
+		defer sb.Abort()
+		window := sb.WindowRows()
+		for lo := 0; lo < len(jobs); lo += window {
+			hi := min(lo+window, len(jobs))
+			if err := sb.Advance(lo, hi); err != nil {
+				return nil, busy, fmt.Errorf("core: collect %q: spill: %w", scn.Name, err)
+			}
+			_, b, err := runCollectJobs(scn.Name, jobs[lo:hi], sc.Parallelism, parent, sb, newRun)
+			busy += b
+			if err != nil {
+				return nil, busy, err
+			}
+		}
+		cDSSpills.Inc()
+		obs.Eventf("dscache_spill", "core: collected %q to shard file %s (%d traces, window %d)",
+			scn.Name, plan.path, len(jobs), window)
+		st, err = sb.Seal(classes)
+		if err != nil {
+			return nil, busy, fmt.Errorf("core: collect %q: %w; refusing to trim dataset to zero length", scn.Name, err)
+		}
+	} else {
+		b := trace.NewBuilder(len(jobs), stride)
+		_, busyNS, err := runCollectJobs(scn.Name, jobs, sc.Parallelism, parent, b, newRun)
+		busy = busyNS
+		if err != nil {
+			return nil, busy, err
+		}
+		// Seal trims traces to the shortest length at read time (jittered
+		// timers can differ by a sample or two) and refuses a degenerate
+		// zero-sample trace rather than truncating the dataset to nothing.
+		st, err = b.Seal(classes)
+		if err != nil {
+			return nil, busy, fmt.Errorf("core: collect %q: %w; refusing to trim dataset to zero length", scn.Name, err)
+		}
 	}
-	for i := range ds.Traces {
-		ds.TrimmedSamples += len(ds.Traces[i].Values) - minLen
-		ds.Traces[i].Values = ds.Traces[i].Values[:minLen]
-	}
+
+	ds := st.Dataset()
 	cTrimmed.Add(int64(ds.TrimmedSamples))
 	// Heavy trimming means the shortest trace diverged from the rest and
 	// the whole dataset was cut down to it — worth a warning, since it
 	// quietly discards signal from every other trace.
-	if total := len(results)*minLen + ds.TrimmedSamples; ds.TrimmedSamples*100 > total {
+	if total := st.Len()*st.TraceLen() + ds.TrimmedSamples; ds.TrimmedSamples*100 > total {
 		obs.Warnf("collect %q: trimmed %d of %d samples (%.1f%%) equalizing trace lengths",
 			scn.Name, ds.TrimmedSamples, total,
 			100*float64(ds.TrimmedSamples)/float64(total))

@@ -12,9 +12,11 @@ import (
 )
 
 // sharedRun adapts a plain job function to runCollectJobs' per-worker
-// factory shape for tests that need no per-worker state.
-func sharedRun(run func(collectJob) (trace.Trace, error)) func() func(collectJob) (trace.Trace, error) {
-	return func() func(collectJob) (trace.Trace, error) { return run }
+// factory shape for tests that need no per-worker state (nor an arena dst).
+func sharedRun(run func(collectJob) (trace.Trace, error)) func() func(collectJob, []float64) (trace.Trace, error) {
+	return func() func(collectJob, []float64) (trace.Trace, error) {
+		return func(j collectJob, _ []float64) (trace.Trace, error) { return run(j) }
+	}
 }
 
 func makeCollectJobs(n int) []collectJob {
@@ -32,7 +34,7 @@ func makeCollectJobs(n int) []collectJob {
 
 func TestRunCollectJobsSuccess(t *testing.T) {
 	jobs := makeCollectJobs(20)
-	results, _, err := runCollectJobs("ok", jobs, 4, nil, sharedRun(func(j collectJob) (trace.Trace, error) {
+	results, _, err := runCollectJobs("ok", jobs, 4, nil, nil, sharedRun(func(j collectJob) (trace.Trace, error) {
 		return trace.Trace{Label: j.label, Domain: j.profile.Domain, Values: []float64{float64(j.slot)}}, nil
 	}))
 	if err != nil {
@@ -52,7 +54,7 @@ func TestRunCollectJobsFailFast(t *testing.T) {
 	jobs := makeCollectJobs(200)
 	boom := errors.New("simulated machine wedged")
 	var calls atomic.Int64
-	_, _, err := runCollectJobs("broken-scn", jobs, 4, nil, sharedRun(func(j collectJob) (trace.Trace, error) {
+	_, _, err := runCollectJobs("broken-scn", jobs, 4, nil, nil, sharedRun(func(j collectJob) (trace.Trace, error) {
 		calls.Add(1)
 		if j.slot == 0 {
 			return trace.Trace{}, boom
@@ -82,7 +84,7 @@ func TestRunCollectJobsFirstErrorWins(t *testing.T) {
 	// Every job fails; the reported error must be one of the jobs' errors,
 	// fully wrapped, and the run must terminate.
 	jobs := makeCollectJobs(50)
-	_, _, err := runCollectJobs("all-fail", jobs, 8, nil, sharedRun(func(j collectJob) (trace.Trace, error) {
+	_, _, err := runCollectJobs("all-fail", jobs, 8, nil, nil, sharedRun(func(j collectJob) (trace.Trace, error) {
 		return trace.Trace{}, errors.New("nope")
 	}))
 	if err == nil || !strings.Contains(err.Error(), "all-fail") {

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 
 	"repro/internal/obs"
@@ -14,17 +17,27 @@ import (
 // dsCache memoizes collected datasets within the process. Experiment grids
 // revisit (scenario, scale) points constantly — Table 1's rows share their
 // closed-world cells with Figure 3's, significance tests re-run cells — and
-// every revisit would otherwise re-simulate thousands of traces. Capacity is
-// small because full-scale datasets run to hundreds of megabytes.
+// every revisit would otherwise re-simulate thousands of traces. The entry
+// cap is small because full-scale datasets run to hundreds of megabytes;
+// the byte budget (SetDatasetCacheBudget) bounds resident memory exactly,
+// demoting cold entries to mmap-backed shard files when a spill directory
+// is configured instead of dropping them.
 var dsCache = newDatasetCache(8)
 
 // datasetCache is a content-addressed, singleflight, LRU-bounded dataset
 // store. Concurrent requests for the same key block on one collection.
+// Capacity is two-dimensional: an entry count (cap) and a resident-byte
+// budget measured from each entry's columnar store. Overflowing the budget
+// demotes LRU entries to shard files under spillDir (resident drops to
+// metadata; the mmap'd values stay servable as a second cache tier) or, with
+// no spill directory, evicts them.
 type datasetCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[uint64]*dsEntry
-	order   []uint64 // LRU order, most recently used last
+	mu       sync.Mutex
+	cap      int
+	budget   int64  // resident-byte budget; 0 = unlimited
+	spillDir string // shard-file directory; "" = no disk tier
+	entries  map[uint64]*dsEntry
+	order    []uint64 // LRU order, most recently used last
 }
 
 type dsEntry struct {
@@ -48,6 +61,70 @@ func SetDatasetCacheCapacity(n int) {
 	dsCache.evictLocked()
 }
 
+// SetDatasetCacheBudget bounds the dataset cache's resident bytes (0 =
+// unlimited, the default). When cached datasets exceed the budget, cold
+// entries are spilled to shard files (if a spill directory is set) or
+// evicted; datasets whose value block alone exceeds the budget are
+// collected straight to disk through a bounded window (see SpillBuilder).
+func SetDatasetCacheBudget(bytes int64) {
+	dsCache.mu.Lock()
+	defer dsCache.mu.Unlock()
+	dsCache.budget = bytes
+	dsCache.evictLocked()
+}
+
+// SetDatasetCacheSpillDir sets the directory for spilled dataset shard
+// files ("" disables the disk tier). Files are content-addressed by the
+// dataset cache key, so later runs (and evict-then-recollect cycles) reload
+// them by mmap instead of re-simulating.
+func SetDatasetCacheSpillDir(dir string) {
+	dsCache.mu.Lock()
+	defer dsCache.mu.Unlock()
+	dsCache.spillDir = dir
+}
+
+// shardPath returns the content-addressed shard file path for key, or ""
+// when no spill directory is configured.
+func (c *datasetCache) shardPath(key uint64) string {
+	if c.spillDir == "" {
+		return ""
+	}
+	return filepath.Join(c.spillDir, fmt.Sprintf("ds-%016x.trst", key))
+}
+
+// spillPlan tells collectDataset to collect straight to a shard file
+// through a bounded window instead of a full in-memory arena.
+type spillPlan struct {
+	path       string
+	windowRows int
+}
+
+// planSpill decides whether a dataset of nTraces×stride float64 values
+// should be collected directly to disk: only when a budget and spill
+// directory are configured and the value block alone would bust the
+// budget. The window is sized to half the budget (at least two rows per
+// CPU so collection still parallelizes).
+func (c *datasetCache) planSpill(key uint64, nTraces, stride int) *spillPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	valBytes := int64(nTraces) * int64(stride) * 8
+	if c.budget <= 0 || c.spillDir == "" || valBytes <= c.budget {
+		return nil
+	}
+	rows := int(c.budget / 2 / (int64(stride) * 8))
+	if minRows := 2 * runtime.NumCPU(); rows < minRows {
+		rows = minRows
+	}
+	if rows > nTraces {
+		rows = nTraces
+	}
+	if err := os.MkdirAll(c.spillDir, 0o755); err != nil {
+		obs.Warnf("core: dataset spill dir %s: %v", c.spillDir, err)
+		return nil
+	}
+	return &spillPlan{path: c.shardPath(key), windowRows: rows}
+}
+
 // touchLocked moves key to the most-recently-used position.
 func (c *datasetCache) touchLocked(key uint64) {
 	for i, k := range c.order {
@@ -59,37 +136,134 @@ func (c *datasetCache) touchLocked(key uint64) {
 	c.order = append(c.order, key)
 }
 
-// evictLocked drops least-recently-used finished entries until within
-// capacity. In-flight entries are never evicted: their waiters hold the
-// entry pointer and eviction would let a duplicate collection start.
+// entryBytes returns the resident bytes a finished entry pins: its store's
+// accounting when columnar, or a row-oriented estimate.
+func entryBytes(e *dsEntry) int64 {
+	if e.ds == nil {
+		return 0
+	}
+	if st := e.ds.Store(); st != nil {
+		return st.ResidentBytes()
+	}
+	var b int64
+	for i := range e.ds.Traces {
+		b += int64(cap(e.ds.Traces[i].Values))*8 + 64
+	}
+	return b
+}
+
+// residentLocked sums resident bytes over finished entries and refreshes
+// the gauge.
+func (c *datasetCache) residentLocked() int64 {
+	var total int64
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+			total += entryBytes(e)
+		default:
+		}
+	}
+	gDSResident.Set(total)
+	return total
+}
+
+// evictLocked enforces both capacity dimensions on finished entries,
+// LRU-first. The entry cap drops entries outright; the byte budget first
+// demotes heap-resident columnar entries to mmap-backed shard files (when a
+// spill directory is set) and evicts only what it cannot demote. In-flight
+// entries are never touched: their waiters hold the entry pointer and
+// eviction would let a duplicate collection start.
 func (c *datasetCache) evictLocked() {
+	finished := func(e *dsEntry) bool {
+		select {
+		case <-e.ready:
+			return true
+		default:
+			return false
+		}
+	}
+	drop := func(i int, k uint64) {
+		e := c.entries[k]
+		bytes := entryBytes(e)
+		delete(c.entries, k)
+		c.order = append(c.order[:i:i], c.order[i+1:]...)
+		cDSEvictions.Inc()
+		cDSEvictedBytes.Add(bytes)
+		obs.Eventf("cache_evict", "core: dataset cache evicted an entry (%d bytes, cap %d, %d retained)",
+			bytes, c.cap, len(c.entries))
+	}
 	for over := len(c.entries) - c.cap; over > 0; {
 		evicted := false
 		for i, k := range c.order {
-			e := c.entries[k]
-			select {
-			case <-e.ready:
-			default:
+			if !finished(c.entries[k]) {
 				continue // still collecting
 			}
-			delete(c.entries, k)
-			c.order = append(c.order[:i:i], c.order[i+1:]...)
-			cDSEvictions.Inc()
-			obs.Eventf("cache_evict", "core: dataset cache evicted an entry (cap %d, %d retained)",
-				c.cap, len(c.entries))
+			drop(i, k)
 			over--
 			evicted = true
 			break
 		}
 		if !evicted {
-			return // everything in flight; nothing evictable
+			break // everything in flight; nothing evictable
 		}
 	}
+	if c.budget > 0 {
+		for c.residentLocked() > c.budget {
+			acted := false
+			// Demote the coldest heap-resident columnar entry first.
+			for _, k := range c.order {
+				e := c.entries[k]
+				if !finished(e) || e.ds == nil {
+					continue
+				}
+				st := e.ds.Store()
+				if st == nil || st.Spilled() {
+					continue
+				}
+				path := c.shardPath(k)
+				if path == "" {
+					continue
+				}
+				before := st.ResidentBytes()
+				if err := st.Spill(path); err != nil || !st.Spilled() {
+					if err != nil {
+						obs.Warnf("core: dataset spill %s: %v", path, err)
+					}
+					continue
+				}
+				// The cached dataset's traces alias the old heap block;
+				// rebuild them over the mapping so the heap can be freed.
+				e.ds = st.Dataset()
+				cDSSpills.Inc()
+				obs.Eventf("dscache_spill", "core: dataset cache spilled %d bytes to %s", before, path)
+				acted = true
+				break
+			}
+			if acted {
+				continue
+			}
+			// Nothing left to demote: evict the coldest finished entry.
+			for i, k := range c.order {
+				if !finished(c.entries[k]) {
+					continue
+				}
+				drop(i, k)
+				acted = true
+				break
+			}
+			if !acted {
+				break // everything in flight
+			}
+		}
+	}
+	c.residentLocked()
 }
 
 // getOrCollect returns the cached dataset for key, running collect exactly
 // once per key (even under concurrent callers) and caching its result.
-// Failed collections are not cached.
+// Before collecting, the disk tier is consulted: a content-addressed shard
+// file left by an earlier spill (or an earlier process) is mmap'd back
+// instead of re-simulating. Failed collections are not cached.
 func (c *datasetCache) getOrCollect(key uint64, collect func() (*trace.Dataset, error)) (*trace.Dataset, error) {
 	c.mu.Lock()
 	if c.cap <= 0 {
@@ -102,19 +276,44 @@ func (c *datasetCache) getOrCollect(key uint64, collect func() (*trace.Dataset, 
 		c.mu.Unlock()
 		cDSHits.Inc()
 		<-e.ready
-		return e.ds, e.err
+		// Re-read under the lock: a concurrent demotion may swap e.ds for
+		// its mmap-backed rebuild.
+		c.mu.Lock()
+		ds, err := e.ds, e.err
+		c.mu.Unlock()
+		return ds, err
 	}
 	e := &dsEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.touchLocked(key)
 	c.evictLocked()
+	path := c.shardPath(key)
 	c.mu.Unlock()
-	cDSMisses.Inc()
 
-	e.ds, e.err = collect()
+	var (
+		ds  *trace.Dataset
+		err error
+	)
+	if path != "" {
+		if st, oerr := trace.OpenShardFile(path); oerr == nil {
+			ds = st.Dataset()
+			cDSDiskHits.Inc()
+			obs.Eventf("dscache_disk_hit", "core: dataset cache loaded %s (%d traces) from disk", path, ds.Len())
+		} else if !os.IsNotExist(oerr) {
+			obs.Warnf("core: dataset shard %s: %v", path, oerr)
+		}
+	}
+	if ds == nil {
+		cDSMisses.Inc()
+		ds, err = collect()
+	}
+
+	c.mu.Lock()
+	e.ds, e.err = ds, err
+	c.mu.Unlock()
 	close(e.ready)
-	if e.err != nil {
-		c.mu.Lock()
+	c.mu.Lock()
+	if err != nil {
 		if c.entries[key] == e {
 			delete(c.entries, key)
 			for i, k := range c.order {
@@ -124,9 +323,11 @@ func (c *datasetCache) getOrCollect(key uint64, collect func() (*trace.Dataset, 
 				}
 			}
 		}
-		c.mu.Unlock()
+	} else {
+		c.evictLocked()
 	}
-	return e.ds, e.err
+	c.mu.Unlock()
+	return ds, err
 }
 
 // datasetCacheKey hashes everything that determines a collected dataset's

@@ -29,7 +29,7 @@ func Figure3(seed uint64) (map[string]trace.Trace, error) {
 	out := make(map[string]trace.Trace, len(FigureSites))
 	arena := &kernel.Machine{}
 	for _, site := range FigureSites {
-		tr, err := collectOne(arena, scn, website.ProfileFor(site), 0, 0, seed)
+		tr, err := collectOne(arena, scn, website.ProfileFor(site), 0, 0, seed, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +74,7 @@ func Figure4(runs int, seed uint64) ([]Figure4Series, error) {
 		traces := make([]trace.Trace, runs)
 		for v := 0; v < runs; v++ {
 			t0 := acquireSlot()
-			tr, err := collectOne(arena, scn, profile, 0, v, seed)
+			tr, err := collectOne(arena, scn, profile, 0, v, seed, nil)
 			releaseSlot(t0)
 			if err != nil {
 				return err

@@ -44,7 +44,7 @@ func hashDataset(ds *trace.Dataset) uint64 {
 // collectDatasetForTest bypasses the in-process dataset cache so both
 // collections below genuinely re-simulate every trace.
 func collectDatasetForTest(scn Scenario, sc Scale) (*trace.Dataset, error) {
-	ds, _, err := collectDataset(scn, sc, nil)
+	ds, _, err := collectDataset(scn, sc, nil, nil)
 	return ds, err
 }
 

@@ -22,10 +22,14 @@ var (
 	cSlotsAcquired = obs.Default.Counter("core.slots.acquired")
 	cSlotBusyNS    = obs.Default.Counter("core.slots.busy_ns")
 
-	cDSHits      = obs.Default.Counter("core.dscache.hits")
-	cDSMisses    = obs.Default.Counter("core.dscache.misses")
-	cDSEvictions = obs.Default.Counter("core.dscache.evictions")
-	cDSBypass    = obs.Default.Counter("core.dscache.bypass")
+	cDSHits         = obs.Default.Counter("core.dscache.hits")
+	cDSMisses       = obs.Default.Counter("core.dscache.misses")
+	cDSEvictions    = obs.Default.Counter("core.dscache.evictions")
+	cDSBypass       = obs.Default.Counter("core.dscache.bypass")
+	cDSEvictedBytes = obs.Default.Counter("core.dscache.evicted_bytes")
+	cDSSpills       = obs.Default.Counter("core.dscache.spills")
+	cDSDiskHits     = obs.Default.Counter("core.dscache.disk_hits")
+	gDSResident     = obs.Default.Gauge("core.dscache.resident_bytes")
 
 	cTraces       = obs.Default.Counter("core.traces.collected")
 	cTrimmed      = obs.Default.Counter("core.traces.trimmed_samples")
@@ -59,6 +63,12 @@ func ProgressLine() string {
 		cTraces.Value(), cFolds.Value(), hits, misses)
 	if ev := cDSEvictions.Value(); ev > 0 {
 		line += fmt.Sprintf("/%de", ev)
+	}
+	if sp := cDSSpills.Value(); sp > 0 {
+		line += fmt.Sprintf("/%dsp", sp)
+	}
+	if dh := cDSDiskHits.Value(); dh > 0 {
+		line += fmt.Sprintf("/%dd", dh)
 	}
 	line += fmt.Sprintf(" | slots %d/%d", gSlotsInUse.Value(), cap(simSlots))
 	if busy := cSlotBusyNS.Value(); busy > 0 {
@@ -94,10 +104,14 @@ func ManifestSections(wall time.Duration) map[string]any {
 	}
 	hits, misses := cDSHits.Value(), cDSMisses.Value()
 	cache := map[string]any{
-		"hits":      hits,
-		"misses":    misses,
-		"evictions": cDSEvictions.Value(),
-		"bypass":    cDSBypass.Value(),
+		"hits":           hits,
+		"misses":         misses,
+		"evictions":      cDSEvictions.Value(),
+		"bypass":         cDSBypass.Value(),
+		"evicted_bytes":  cDSEvictedBytes.Value(),
+		"spills":         cDSSpills.Value(),
+		"disk_hits":      cDSDiskHits.Value(),
+		"resident_bytes": gDSResident.Value(),
 	}
 	if hits+misses > 0 {
 		cache["hit_rate"] = float64(hits) / float64(hits+misses)

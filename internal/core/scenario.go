@@ -134,6 +134,23 @@ func (s *Scenario) samples(tm clockface.Timer) int {
 	return n
 }
 
+// traceCapacity returns the arena stride that holds any trace this
+// scenario produces: samples() for sequential attackers, or the
+// millisecond-granular slot array collectOne switches to under a
+// randomized timer. Mirrors collectOne's cfg.Samples decision exactly; the
+// probe timer uses a fixed seed because the sample count depends only on
+// the timer's parameters, not its random stream.
+func (s *Scenario) traceCapacity() int {
+	tm := s.timer(0x7f1e57a7e5eed)
+	n := s.samples(tm)
+	if _, ok := tm.(*clockface.Randomized); ok {
+		if slots := int(s.TraceDuration / sim.Millisecond); slots > 0 {
+			n = slots
+		}
+	}
+	return n
+}
+
 // traceSeed derives the deterministic seed for one (scenario, domain,
 // visit) trace.
 func traceSeed(root uint64, scenario, domain string, visit int) uint64 {

@@ -58,6 +58,30 @@ func ensureB(buf *batchT, n, rows, cols int) *batchT {
 	return buf
 }
 
+// aliasBatch returns a read-only batch header over X[i0 : i0+n] when those
+// tensors occupy consecutive rows of one contiguous arena (see Samples):
+// the batch's Data is re-derived from X[i0]'s backing array, and every
+// header is checked to alias the expected row. Returns nil when the run is
+// not contiguous, in which case callers gather into their own buffer. The
+// batched layers never write their input batch (they own separate output
+// arenas), so handing them an aliased arena view is safe.
+func aliasBatch(X []*Tensor, i0, n int) *batchT {
+	ref := X[i0]
+	sz := ref.Rows * ref.Cols
+	if sz == 0 || cap(ref.Data) < n*sz {
+		return nil
+	}
+	d := ref.Data[:n*sz]
+	for k := 1; k < n; k++ {
+		xk := X[i0+k]
+		if xk.Rows != ref.Rows || xk.Cols != ref.Cols ||
+			len(xk.Data) < sz || &xk.Data[0] != &d[k*sz] {
+			return nil
+		}
+	}
+	return &batchT{N: n, Rows: ref.Rows, Cols: ref.Cols, Data: d}
+}
+
 // batchLayer is a layer that can forward/backward a whole shard at once.
 // base is the global sample index of batch element 0 (keys per-sample
 // randomness). Returned batches are owned by the layer and remain valid

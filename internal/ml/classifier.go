@@ -106,8 +106,15 @@ func (nc *NearestCentroid) Fit(train *trace.Dataset) error {
 	}
 	sums := make([][]float64, train.NumClasses)
 	counts := make([]int, train.NumClasses)
+	// One scratch pair serves every trace: ApplyInto reuses it in place, so
+	// the fit performs two allocations total instead of two per trace.
+	var v, tmp []float64
+	if len(train.Traces) > 0 {
+		n := nc.Prep.OutLen(len(train.Traces[0].Values))
+		v, tmp = make([]float64, n), make([]float64, n)
+	}
 	for _, t := range train.Traces {
-		v := nc.Prep.Apply(t.Values)
+		v = nc.Prep.ApplyInto(v, tmp, t.Values)
 		if sums[t.Label] == nil {
 			sums[t.Label] = make([]float64, len(v))
 		}
@@ -169,11 +176,16 @@ func (k *KNN) Fit(train *trace.Dataset) error {
 		k.K = 5
 	}
 	k.classes = train.NumClasses
+	// The memorized features live in one columnar arena; each stored
+	// feature is a row view, so scoring walks contiguous memory.
+	s, err := PackDataset(k.Prep, train)
+	if err != nil {
+		return err
+	}
 	k.features = k.features[:0]
-	k.labels = k.labels[:0]
-	for _, t := range train.Traces {
-		k.features = append(k.features, k.Prep.Apply(t.Values))
-		k.labels = append(k.labels, t.Label)
+	k.labels = append(k.labels[:0], s.Y...)
+	for i := 0; i < s.Len(); i++ {
+		k.features = append(k.features, s.Row(i))
 	}
 	return nil
 }
@@ -228,18 +240,15 @@ func (lr *LogReg) Fit(train *trace.Dataset) error {
 	if lr.Epochs <= 0 {
 		lr.Epochs = 30
 	}
-	var X []*Tensor
-	var y []int
-	for _, t := range train.Traces {
-		v := lr.Prep.Apply(t.Values)
-		X = append(X, FromSeries(v))
-		y = append(y, t.Label)
+	s, err := PackDataset(lr.Prep, train)
+	if err != nil {
+		return err
 	}
-	lr.inLen = X[0].Rows
-	lr.cc.setCalib(X[:min(len(X), q8CalibMax)])
+	lr.inLen = s.Size()
+	lr.cc.setCalib(calibSlice(s))
 	rng := newSeedStream(lr.Seed, "logreg")
 	lr.model = &Sequential{Layers: []Layer{NewDense(rng, lr.inLen, train.NumClasses)}}
-	return lr.model.Fit(X, y, nil, nil, FitConfig{
+	return lr.model.Fit(s.X, s.Y, nil, nil, FitConfig{
 		Epochs: lr.Epochs, BatchSize: 16, LR: 0.01, Seed: lr.Seed,
 		Parallelism: lr.Parallelism,
 	})
@@ -310,44 +319,35 @@ func (c *CNNLSTM) Fit(train *trace.Dataset) error {
 	if c.LR <= 0 {
 		c.LR = 0.001
 	}
-	var X []*Tensor
-	var y []int
-	for _, t := range train.Traces {
-		X = append(X, FromSeries(c.Prep.Apply(t.Values)))
-		y = append(y, t.Label)
+	s, err := PackDataset(c.Prep, train)
+	if err != nil {
+		return err
 	}
-	c.inLen = X[0].Rows
+	c.inLen = s.Size()
 	model, err := PaperNet(c.Seed, c.inLen, train.NumClasses, c.Filters, c.Hidden, c.Dropout)
 	if err != nil {
 		return err
 	}
 	c.model = model
-	// Hold out ~10% for early stopping (validation set, §4.1).
+	// Hold out ~10% for early stopping (validation set, §4.1). Each split
+	// is re-gathered into its own contiguous arena so epoch validation can
+	// alias whole batches straight out of it.
 	rng := newSeedStream(c.Seed, "cnnlstm-split")
-	idx := rng.Perm(len(X))
-	cut := len(X) / 10
+	idx := rng.Perm(s.Len())
+	cut := s.Len() / 10
 	if cut == 0 {
 		cut = 1
 	}
-	var trX, vaX []*Tensor
-	var trY, vaY []int
-	for i, j := range idx {
-		if i < cut {
-			vaX = append(vaX, X[j])
-			vaY = append(vaY, y[j])
-		} else {
-			trX = append(trX, X[j])
-			trY = append(trY, y[j])
-		}
-	}
+	va := s.Gather(idx[:cut])
+	tr := s.Gather(idx[cut:])
 	// Calibrate quantization on the held-out split where one exists: scale
 	// estimates from data the weights never fit generalize a shade better.
-	calib := vaX
-	if len(calib) == 0 {
-		calib = trX
+	calib := va
+	if calib.Len() == 0 {
+		calib = tr
 	}
-	c.cc.setCalib(calib[:min(len(calib), q8CalibMax)])
-	return c.model.Fit(trX, trY, vaX, vaY, FitConfig{
+	c.cc.setCalib(calibSlice(calib))
+	return c.model.Fit(tr.X, tr.Y, va.X, va.Y, FitConfig{
 		Epochs: c.Epochs, BatchSize: 16, LR: c.LR,
 		Patience: 4, MinEpochs: 8, Seed: c.Seed,
 		Parallelism: c.Parallelism,
@@ -380,30 +380,36 @@ func (c *CNNLSTM) ScoresBatch(values [][]float64) [][]float64 {
 // reference path's sample-parallel worker count; the fast tiers use the
 // intra-op worker count from SetInferParallelism.
 func predictPrepped(model *Sequential, cc *compiledCache, prep Preprocessor, inLen int, values [][]float64, par int) [][]float64 {
-	X := make([]*Tensor, len(values))
-	for i, raw := range values {
-		v := prep.Apply(raw)
-		if len(v) != inLen {
-			d := make([]float64, inLen)
-			copy(d, v)
-			v = d
-		}
-		X[i] = FromSeries(v)
-	}
+	// One columnar arena holds every preprocessed sample (padded/trimmed to
+	// the trained length by the packer); the compiled tier scores its f32
+	// mirror directly, the other tiers its tensor headers.
+	s := PackValues(prep, inLen, values)
 	tier := ActiveInferTier()
 	if cc != nil && tier >= TierInt8 {
 		if qm := cc.getQuantized(model); qm != nil {
-			return qm.PredictBatch(X, InferParallelism())
+			return qm.PredictBatch(s.X, InferParallelism())
 		}
 		noteFallback("int8")
 	}
 	if cc != nil && tier >= TierCompiled {
 		if cm := cc.get(model); cm != nil {
-			return cm.PredictBatch(X, InferParallelism())
+			return cm.PredictSamples(s, InferParallelism())
 		}
 		noteFallback("compiled")
 	}
-	return model.PredictBatch(X, par)
+	return model.PredictBatch(s.X, par)
+}
+
+// calibSlice copies the first q8CalibMax samples of s into their own small
+// arena for quantization calibration: retaining s.X[:n] directly would pin
+// the entire training arena behind the calibration slice.
+func calibSlice(s *Samples) []*Tensor {
+	n := min(s.Len(), q8CalibMax)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return s.Gather(idx).X
 }
 
 // Freezer is a trained classifier whose model can be frozen into a fast

@@ -205,6 +205,20 @@ func (cm *CompiledModel) runBody(sc *inferScratch, x *Tensor, workers int) ([]fl
 	return cur, rows, cols
 }
 
+// runBodyF32 is runBody for an input already in float32 (a Samples mirror
+// row): the per-sample f64→f32 conversion becomes a plain copy into the
+// scratch arena. The copy stays — body stages may rectify in place
+// (reluStage), and the mirror must remain read-only.
+func (cm *CompiledModel) runBodyF32(sc *inferScratch, x []float32, rows, cols, workers int) ([]float32, int, int) {
+	sc.xin = growF32(sc.xin, len(x))
+	copy(sc.xin, x)
+	cur := sc.xin[:len(x)]
+	for si, st := range cm.body {
+		cur, rows, cols = st.forward(sc, si, cur, rows, cols, workers)
+	}
+	return cur, rows, cols
+}
+
 // softmax32Into writes the stable softmax of f32 logits into dst as
 // float64, reusing dst when it has the right length (nil or mis-sized dst
 // is allocated). The exponentials run through fastExp32 rather than f64
@@ -323,6 +337,74 @@ func (cm *CompiledModel) predictInto(sc *inferScratch, X []*Tensor, par int, out
 	mInferSamples.Add(int64(len(X)))
 	if obs.On() {
 		cInferFusedNS.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// PredictSamples scores a packed sample arena (see Samples) through the
+// compiled tier, feeding micro-batches from the arena's float32 mirror so
+// the per-sample f64→f32 conversion runBody pays disappears. Results are
+// bit-identical to PredictBatch over the arena's tensor headers: the
+// mirror holds exactly float32(v) for every value, which is what runBody
+// would compute, and the micro-batch boundaries match (uniform shapes).
+// The int8 tier keeps the tensor path: its quantizer rescales activations
+// from float64 input, so a shared f32 mirror would change its rounding.
+func (cm *CompiledModel) PredictSamples(s *Samples, par int) [][]float64 {
+	out := make([][]float64, s.Len())
+	if s.Len() == 0 {
+		return out
+	}
+	workers := par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sc := cm.getScratch()
+	var t0 time.Time
+	if obs.On() {
+		t0 = time.Now()
+	}
+	m := s.F32()
+	sz := s.Size()
+	for lo := 0; lo < s.Len(); lo += microBatchMax {
+		hi := lo + microBatchMax
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		cm.runBatchF32(sc, m, sz, lo, hi, out, workers)
+		mInferBatches.Inc()
+	}
+	mInferSamples.Add(int64(s.Len()))
+	if obs.On() {
+		cInferFusedNS.Add(time.Since(t0).Nanoseconds())
+	}
+	cm.putScratch(sc)
+	return out
+}
+
+// runBatchF32 is runBatch over rows [lo, hi) of a packed f32 arena whose
+// samples are sz×1 tensors.
+func (cm *CompiledModel) runBatchF32(sc *inferScratch, m []float32, sz, lo, hi int, out [][]float64, workers int) {
+	if cm.head == nil {
+		for i := lo; i < hi; i++ {
+			feat, frows, fcols := cm.runBodyF32(sc, m[i*sz:(i+1)*sz], sz, 1, workers)
+			out[i] = softmax32Into(out[i], feat[:frows*fcols])
+		}
+		return
+	}
+	B, hin, hout := hi-lo, cm.head.in, cm.head.out
+	sc.batch = growF32(sc.batch, B*hin)
+	for bi := 0; bi < B; bi++ {
+		i := lo + bi
+		feat, frows, fcols := cm.runBodyF32(sc, m[i*sz:(i+1)*sz], sz, 1, workers)
+		if frows*fcols != hin {
+			panic(fmt.Sprintf("ml: compiled feature size %d != dense input %d", frows*fcols, hin))
+		}
+		copy(sc.batch[bi*hin:(bi+1)*hin], feat[:hin])
+	}
+	sc.logits = growF32(sc.logits, B*hout)
+	gemmNT32(B, hout, hin, sc.batch, hin, cm.head.w, hin, cm.head.b,
+		sc.logits, hout, false, workers, &sc.wg)
+	for bi := 0; bi < B; bi++ {
+		out[lo+bi] = softmax32Into(out[lo+bi], sc.logits[bi*hout:(bi+1)*hout])
 	}
 }
 

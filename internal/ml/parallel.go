@@ -310,17 +310,38 @@ func (e *trainEngine) runShardBatched(r *replicaState, si, S int, X []*Tensor, y
 		p.G = e.shardG[si][pi]
 	}
 	B := hi - lo
-	ref := X[batch[lo]]
-	r.bIn = ensureB(r.bIn, B, ref.Rows, ref.Cols)
 	if cap(r.labels) < B {
 		r.labels = make([]int, B)
 	}
 	r.labels = r.labels[:B]
 	for s := 0; s < B; s++ {
-		copy(r.bIn.sample(s), X[batch[lo+s]].Data)
 		r.labels[s] = y[batch[lo+s]]
 	}
-	bx := r.bIn
+	// Contiguous fast path: a shard whose samples are consecutive rows of a
+	// packed arena (see Samples) trains on an aliased view of the arena —
+	// no pack copy. Shuffled epochs rarely produce consecutive runs, but
+	// in-order fits (and the equivalence tests) skip the copy entirely;
+	// either way the batched layers read identical bytes, so gradients are
+	// unchanged.
+	var bx *batchT
+	consec := true
+	for s := 1; s < B; s++ {
+		if batch[lo+s] != batch[lo]+s {
+			consec = false
+			break
+		}
+	}
+	if consec {
+		bx = aliasBatch(X, batch[lo], B)
+	}
+	if bx == nil {
+		ref := X[batch[lo]]
+		r.bIn = ensureB(r.bIn, B, ref.Rows, ref.Cols)
+		for s := 0; s < B; s++ {
+			copy(r.bIn.sample(s), X[batch[lo+s]].Data)
+		}
+		bx = r.bIn
+	}
 	base := sampleBase + uint64(lo)
 	for _, bl := range r.bLayers {
 		bx = bl.forwardBatch(bx, true, base)
@@ -335,6 +356,70 @@ func (e *trainEngine) runShardBatched(r *replicaState, si, S int, X []*Tensor, y
 	e.shardLoss[si] = loss
 }
 
+// evalBatchMax caps how many consecutive samples one eval forward packs:
+// big enough to amortize the batched kernels, small enough that the
+// activation arenas stay cache-resident.
+const evalBatchMax = 32
+
+// evalRange scores X[lo:hi) on replica r and returns the top-1 correct
+// count. On the batched path consecutive same-shape samples forward through
+// the batched layers chunk by chunk, aliasing the sample arena directly
+// when X is packed (see Samples) and gathering into the replica's batch
+// buffer otherwise. Per the batch.go bit-identity contract each sample's
+// logits equal Forward's, so the count matches the per-sample loop exactly.
+func (e *trainEngine) evalRange(r *replicaState, X []*Tensor, y []int, lo, hi int) int {
+	correct := 0
+	if e.batched && r.bLayers != nil {
+		for b := lo; b < hi; {
+			ref := X[b]
+			n := 1
+			for b+n < hi && n < evalBatchMax &&
+				X[b+n].Rows == ref.Rows && X[b+n].Cols == ref.Cols {
+				n++
+			}
+			bx := aliasBatch(X, b, n)
+			if bx == nil {
+				r.bIn = ensureB(r.bIn, n, ref.Rows, ref.Cols)
+				for s := 0; s < n; s++ {
+					copy(r.bIn.sample(s), X[b+s].Data)
+				}
+				bx = r.bIn
+			}
+			for _, bl := range r.bLayers {
+				bx = bl.forwardBatch(bx, false, 0)
+			}
+			C := bx.Rows * bx.Cols
+			for s := 0; s < n; s++ {
+				row := bx.Data[s*C : (s+1)*C]
+				best := 0
+				for c, v := range row {
+					if v > row[best] {
+						best = c
+					}
+				}
+				if best == y[b+s] {
+					correct++
+				}
+			}
+			b += n
+		}
+		return correct
+	}
+	for i := lo; i < hi; i++ {
+		out := r.seq.Forward(X[i], false)
+		best := 0
+		for c, v := range out.Data {
+			if v > out.Data[best] {
+				best = c
+			}
+		}
+		if best == y[i] {
+			correct++
+		}
+	}
+	return correct
+}
+
 // accuracy evaluates top-1 accuracy on (X, y) using the engine's persistent
 // workers and replicas — Fit's epoch validation path. The correct-count
 // reduction is an integer sum, so the result equals AccuracyParallel for
@@ -343,28 +428,24 @@ func (e *trainEngine) accuracy(X []*Tensor, y []int) float64 {
 	if len(X) == 0 {
 		return 0
 	}
-	evalOne := func(model *Sequential, i int) bool {
-		out := model.Forward(X[i], false)
-		best := 0
-		for c, v := range out.Data {
-			if v > out.Data[best] {
-				best = c
-			}
-		}
-		return best == y[i]
-	}
 	if e.tasks == nil {
-		model := e.model
-		if !e.serialDirect {
-			model = e.replicas[0].seq
-		}
-		correct := 0
-		for i := range X {
-			if evalOne(model, i) {
-				correct++
+		if e.serialDirect {
+			correct := 0
+			for i := range X {
+				out := e.model.Forward(X[i], false)
+				best := 0
+				for c, v := range out.Data {
+					if v > out.Data[best] {
+						best = c
+					}
+				}
+				if best == y[i] {
+					correct++
+				}
 			}
+			return float64(correct) / float64(len(X))
 		}
-		return float64(correct) / float64(len(X))
+		return float64(e.evalRange(e.replicas[0], X, y, 0, len(X))) / float64(len(X))
 	}
 	W := len(e.replicas)
 	if W > len(X) {
@@ -384,18 +465,5 @@ func (e *trainEngine) accuracy(X []*Tensor, y []int) float64 {
 
 // runEval scores an eval task's sample range on the worker's replica.
 func (e *trainEngine) runEval(r *replicaState, t engTask) {
-	correct := 0
-	for i := t.lo; i < t.hi; i++ {
-		out := r.seq.Forward(t.X[i], false)
-		best := 0
-		for c, v := range out.Data {
-			if v > out.Data[best] {
-				best = c
-			}
-		}
-		if best == t.y[i] {
-			correct++
-		}
-	}
-	e.evalCorrect[t.slot] = correct
+	e.evalCorrect[t.slot] = e.evalRange(r, t.X, t.y, t.lo, t.hi)
 }

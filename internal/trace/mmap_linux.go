@@ -1,0 +1,34 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only mmap of a shard file. It is intentionally never
+// unmapped while a Store aliases it; close exists only for the error paths
+// of OpenShardFile/Spill, before any alias escapes.
+type mapping struct {
+	data []byte
+}
+
+// mapFile maps size bytes of f read-only and shared.
+func mapFile(f *os.File, size int64) (*mapping, []byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &mapping{data: data}, data, nil
+}
+
+func (m *mapping) close() {
+	if m.data != nil {
+		syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

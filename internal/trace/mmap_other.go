@@ -1,0 +1,21 @@
+//go:build !linux
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mapping is a stub on platforms without the syscall.Mmap path; shard files
+// are read through io.ReadAll/ReadAt instead, trading resident memory for
+// portability.
+type mapping struct{}
+
+var errNoMmap = errors.New("trace: mmap unavailable on this platform")
+
+func mapFile(f *os.File, size int64) (*mapping, []byte, error) {
+	return nil, nil, errNoMmap
+}
+
+func (m *mapping) close() {}

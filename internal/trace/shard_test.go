@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func storesEqual(t *testing.T, a, b *Store) {
+	t.Helper()
+	if a.Len() != b.Len() || a.TraceLen() != b.TraceLen() ||
+		a.NumClasses() != b.NumClasses() || a.TrimmedSamples() != b.TrimmedSamples() {
+		t.Fatalf("store shape mismatch: %dx%d/%d/%d vs %dx%d/%d/%d",
+			a.Len(), a.TraceLen(), a.NumClasses(), a.TrimmedSamples(),
+			b.Len(), b.TraceLen(), b.NumClasses(), b.TrimmedSamples())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.Trace(i), b.Trace(i)
+		if ta.Domain != tb.Domain || ta.Label != tb.Label ||
+			ta.Attack != tb.Attack || ta.Period != tb.Period {
+			t.Fatalf("trace %d metadata mismatch: %+v vs %+v", i, ta, tb)
+		}
+		av, bv := a.Values(i), b.Values(i)
+		if len(av) != len(bv) {
+			t.Fatalf("trace %d length %d vs %d", i, len(av), len(bv))
+		}
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("trace %d sample %d: %v vs %v", i, j, av[j], bv[j])
+			}
+		}
+	}
+}
+
+func TestShardFileRoundTrip(t *testing.T) {
+	want := buildStore(t, []int{33, 32, 33, 33, 31, 33}, 33)
+	path := filepath.Join(t.TempDir(), "store.trst")
+	if err := want.WriteShardFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenShardFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, want, got)
+	if runtime.GOOS == "linux" && !got.Spilled() {
+		t.Fatal("OpenShardFile did not mmap the value block on linux")
+	}
+	// The value block must start page-aligned so the kernel can map it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < shardValOff {
+		t.Fatalf("file too small: %d bytes", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw) != shardMagic {
+		t.Fatal("bad magic")
+	}
+	v0 := binary.LittleEndian.Uint64(raw[shardValOff:])
+	if got := want.Values(0)[0]; got != math.Float64frombits(v0) {
+		t.Fatalf("value block not at offset %d", shardValOff)
+	}
+}
+
+func TestSpillReloadBitIdentity(t *testing.T) {
+	want := buildStore(t, []int{64, 64, 64, 64}, 64)
+	// Keep an owned copy of the heap contents to compare after the swap.
+	ref, err := NewStoreFromDataset(want.Dataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := want.ResidentBytes()
+	path := filepath.Join(t.TempDir(), "spill.trst")
+	if err := want.Spill(path); err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, ref, want)
+	if runtime.GOOS == "linux" {
+		if !want.Spilled() {
+			t.Fatal("Spill did not leave the store mmap-backed on linux")
+		}
+		if after := want.ResidentBytes(); after >= before {
+			t.Fatalf("resident bytes did not drop: %d -> %d", before, after)
+		}
+	}
+	// Spilling again to the same path must be a no-op that keeps identity.
+	if err := want.Spill(path); err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, ref, want)
+	// And an independent open of the spill file sees the same contents.
+	got, err := OpenShardFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, ref, got)
+}
+
+// TestReadStoreAnyGobBackCompat is the serialization back-compat gate: a
+// seed-era gob dataset (written by Dataset.WriteGob, no shard framing) must
+// load into a columnar Store through the same entry point as shard files.
+func TestReadStoreAnyGobBackCompat(t *testing.T) {
+	ds := &Dataset{NumClasses: 3, TrimmedSamples: 3}
+	for i := 0; i < 5; i++ {
+		ds.Append(storeTrace(i, 21))
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStoreAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewStoreFromDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, want, st)
+}
+
+func TestReadStoreAnyShard(t *testing.T) {
+	want := buildStore(t, []int{17, 17, 17}, 17)
+	var buf bytes.Buffer
+	if err := want.WriteShardTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStoreAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEqual(t, want, got)
+}
+
+func TestShardHeaderRejects(t *testing.T) {
+	want := buildStore(t, []int{9, 9}, 9)
+	var buf bytes.Buffer
+	if err := want.WriteShardTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = f(b)
+		if _, err := decodeShard(b, false); err == nil {
+			t.Fatalf("%s: decodeShard accepted corrupt image", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	mutate("bad version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:], 99)
+		return b
+	})
+	mutate("truncated header", func(b []byte) []byte { return b[:shardHdrLen-1] })
+	mutate("truncated values", func(b []byte) []byte { return b[:shardValOff+7] })
+	mutate("huge count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 1<<60)
+		return b
+	})
+	mutate("huge stride", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:], 1<<60)
+		return b
+	})
+	mutate("traceLen beyond stride", func(b []byte) []byte {
+		stride := binary.LittleEndian.Uint64(b[16:])
+		binary.LittleEndian.PutUint64(b[24:], stride+1)
+		return b
+	})
+	mutate("metaLen beyond file", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[48:], uint64(len(b)))
+		return b
+	})
+}
+
+// FuzzShardDecode hammers the shard decoder with mutated images: it must
+// reject garbage with an error, never panic or over-allocate (every count
+// and length is validated against the remaining bytes before allocation).
+func FuzzShardDecode(f *testing.F) {
+	mk := func(lens []int, stride int) []byte {
+		b := NewBuilder(len(lens), stride)
+		for i, l := range lens {
+			tr := storeTrace(i, l)
+			row := b.Row(i)
+			row = append(row, tr.Values...)
+			tr.Values = row
+			b.Finish(i, tr)
+		}
+		s, err := b.Seal(3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteShardTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(mk([]int{5, 4, 5}, 5))
+	f.Add(mk([]int{1}, 1))
+	f.Add([]byte{})
+	f.Add(make([]byte, shardHdrLen))
+	f.Add(make([]byte, shardValOff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeShard(data, false)
+		if err != nil {
+			return
+		}
+		// Accepted images must be internally consistent.
+		for i := 0; i < s.Len(); i++ {
+			_ = s.Values(i)
+			_ = s.Trace(i)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// storeTrace builds a deterministic synthetic trace for store tests.
+func storeTrace(i, n int) Trace {
+	v := make([]float64, n)
+	for j := range v {
+		v[j] = float64((i+1)*997+j*31) * 0.125
+	}
+	return Trace{
+		Domain: []string{"a.com", "b.org", "c.net"}[i%3],
+		Label:  i % 3,
+		Attack: "loop-counting",
+		Period: 5 * sim.Millisecond,
+		Values: v,
+	}
+}
+
+// buildStore assembles n traces of the given lengths through a Builder.
+func buildStore(t *testing.T, lens []int, stride int) *Store {
+	t.Helper()
+	b := NewBuilder(len(lens), stride)
+	for i, l := range lens {
+		tr := storeTrace(i, l)
+		row := b.Row(i)
+		row = append(row, tr.Values...)
+		tr.Values = row
+		b.Finish(i, tr)
+	}
+	st, err := b.Seal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBuilderSealTrimsToMin(t *testing.T) {
+	st := buildStore(t, []int{50, 48, 50, 49}, 50)
+	if st.Len() != 4 || st.TraceLen() != 48 {
+		t.Fatalf("store %dx%d, want 4x48", st.Len(), st.TraceLen())
+	}
+	if st.TrimmedSamples() != 2+0+2+1 {
+		t.Fatalf("trimmed %d, want 5", st.TrimmedSamples())
+	}
+	for i := 0; i < 4; i++ {
+		want := storeTrace(i, 50)
+		got := st.Values(i)
+		if len(got) != 48 {
+			t.Fatalf("trace %d length %d", i, len(got))
+		}
+		for j, v := range got {
+			if v != want.Values[j] {
+				t.Fatalf("trace %d sample %d: %v != %v", i, j, v, want.Values[j])
+			}
+		}
+		if st.Label(i) != want.Label || st.Domain(i) != want.Domain {
+			t.Fatalf("trace %d metadata mismatch", i)
+		}
+	}
+	// Views must be capacity-capped: appending to one cannot scribble on
+	// the next row.
+	v := st.Values(0)
+	if cap(v) != len(v) {
+		t.Fatalf("Values cap %d exceeds len %d", cap(v), len(v))
+	}
+}
+
+func TestBuilderRejectsEmptyTrace(t *testing.T) {
+	b := NewBuilder(2, 8)
+	b.Finish(0, storeTrace(0, 8))
+	b.Finish(1, Trace{Domain: "x", Values: nil})
+	if _, err := b.Seal(1); err == nil {
+		t.Fatal("Seal accepted a zero-length trace")
+	}
+}
+
+func TestStoreDatasetAliasesArena(t *testing.T) {
+	st := buildStore(t, []int{30, 30}, 30)
+	ds := st.Dataset()
+	if ds.Len() != 2 || ds.NumClasses != 3 {
+		t.Fatalf("dataset %d traces, %d classes", ds.Len(), ds.NumClasses)
+	}
+	if ds.Store() != st {
+		t.Fatal("dataset lost its store backref")
+	}
+	if &ds.Traces[1].Values[0] != &st.Values(1)[0] {
+		t.Fatal("dataset traces do not alias the arena")
+	}
+	if !ds.Traces[0].IsView() {
+		t.Fatal("arena-backed trace not marked as view")
+	}
+	// Clone must detach from the arena.
+	c := ds.Traces[0].Clone()
+	if c.IsView() || &c.Values[0] == &st.Values(0)[0] {
+		t.Fatal("Clone still aliases the arena")
+	}
+	// Owned on a view copies; on an owned trace it is a no-op.
+	o := ds.Traces[0].Owned()
+	if o.IsView() || &o.Values[0] == &st.Values(0)[0] {
+		t.Fatal("Owned still aliases the arena")
+	}
+	o2 := o.Owned()
+	if &o2.Values[0] != &o.Values[0] {
+		t.Fatal("Owned copied an already-owned trace")
+	}
+}
+
+func TestNewStoreFromDatasetRoundTrip(t *testing.T) {
+	ds := &Dataset{NumClasses: 3}
+	for i := 0; i < 6; i++ {
+		ds.Append(storeTrace(i, 25))
+	}
+	st, err := NewStoreFromDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := st.Dataset()
+	for i := range ds.Traces {
+		a, b := ds.Traces[i], back.Traces[i]
+		if a.Domain != b.Domain || a.Label != b.Label || a.Attack != b.Attack || a.Period != b.Period {
+			t.Fatalf("trace %d metadata mismatch", i)
+		}
+		for j := range a.Values {
+			if a.Values[j] != b.Values[j] {
+				t.Fatalf("trace %d sample %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestStoreShardAndView(t *testing.T) {
+	st := buildStore(t, []int{20, 20, 20, 20, 20}, 20)
+	shards := st.Shards(2)
+	if len(shards) != 3 || shards[0].Len() != 2 || shards[2].Len() != 1 {
+		t.Fatalf("Shards(2) produced %d shards", len(shards))
+	}
+	if &shards[1].Values(0)[0] != &st.Values(2)[0] {
+		t.Fatal("shard does not alias the arena")
+	}
+	v := st.View([]int{4, 1})
+	if v.Len() != 2 || v.Label(0) != st.Label(4) {
+		t.Fatal("view indexing broken")
+	}
+	vds := v.Dataset()
+	if &vds.Traces[1].Values[0] != &st.Values(1)[0] {
+		t.Fatal("view dataset does not alias the arena")
+	}
+}
+
+func TestStoreF32Mirror(t *testing.T) {
+	st := buildStore(t, []int{12, 11}, 12)
+	m := st.F32()
+	if len(m) != 2*st.TraceLen() {
+		t.Fatalf("mirror length %d, want %d", len(m), 2*st.TraceLen())
+	}
+	for i := 0; i < st.Len(); i++ {
+		row := st.F32Row(i)
+		for j, v := range st.Values(i) {
+			if row[j] != float32(v) {
+				t.Fatalf("mirror [%d][%d] = %v, want %v", i, j, row[j], float32(v))
+			}
+		}
+	}
+	if &st.F32()[0] != &m[0] {
+		t.Fatal("mirror rebuilt on second call")
+	}
+}
+
+func TestSpillBuilderMatchesBuilder(t *testing.T) {
+	const n, stride = 10, 40
+	lens := make([]int, n)
+	for i := range lens {
+		lens[i] = stride - i%3
+	}
+	want := buildStore(t, lens, stride)
+
+	path := filepath.Join(t.TempDir(), "spill.trst")
+	sb, err := NewSpillBuilder(path, n, stride, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < n; lo += 4 {
+		hi := lo + 4
+		if hi > n {
+			hi = n
+		}
+		if err := sb.Advance(lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		for i := lo; i < hi; i++ {
+			tr := storeTrace(i, lens[i])
+			row := sb.Row(i)
+			row = append(row, tr.Values...)
+			tr.Values = row
+			sb.Finish(i, tr)
+		}
+	}
+	got, err := sb.Seal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || got.TraceLen() != want.TraceLen() ||
+		got.TrimmedSamples() != want.TrimmedSamples() {
+		t.Fatalf("spilled store %dx%d trim %d, want %dx%d trim %d",
+			got.Len(), got.TraceLen(), got.TrimmedSamples(),
+			want.Len(), want.TraceLen(), want.TrimmedSamples())
+	}
+	for i := 0; i < n; i++ {
+		gv, wv := got.Values(i), want.Values(i)
+		for j := range wv {
+			if gv[j] != wv[j] {
+				t.Fatalf("trace %d sample %d: spilled %v != in-memory %v", i, j, gv[j], wv[j])
+			}
+		}
+		if got.Domain(i) != want.Domain(i) || got.Label(i) != want.Label(i) {
+			t.Fatalf("trace %d metadata mismatch", i)
+		}
+	}
+	// The two paths must also produce byte-identical shard files.
+	var a, b bytes.Buffer
+	if err := want.WriteShardTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteShardTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("SpillBuilder shard bytes differ from Builder store")
+	}
+}

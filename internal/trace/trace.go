@@ -30,19 +30,48 @@ type Trace struct {
 	Period sim.Duration
 	// Values holds one counter value per period.
 	Values []float64
+
+	// view marks a trace whose Values alias shared storage (a Store arena
+	// or an mmap-backed shard): reading is free, writing is forbidden.
+	// Unexported so gob/json codecs ignore it — serialized traces always
+	// come back owned.
+	view bool
 }
 
-// Clone deep-copies the trace.
+// IsView reports whether Values alias shared storage (a Store arena). View
+// traces are copy-on-write: call Owned (or Clone) before mutating Values.
+func (t Trace) IsView() bool { return t.view }
+
+// Owned returns a trace safe to mutate: t itself when it already owns its
+// values, a deep copy when it is an arena view. The copy-on-write half of
+// the view contract — sharing stays free, mutation pays exactly one copy.
+func (t Trace) Owned() Trace {
+	if !t.view {
+		return t
+	}
+	return t.Clone()
+}
+
+// Clone deep-copies the trace. The result owns its values even when t was
+// an arena view.
 func (t Trace) Clone() Trace {
 	v := make([]float64, len(t.Values))
 	copy(v, t.Values)
 	t.Values = v
+	t.view = false
 	return t
 }
 
 // Normalized returns the trace's values divided by their maximum, the
 // normalization the paper applies in Figure 4.
 func (t Trace) Normalized() []float64 { return stats.NormalizeMax(t.Values) }
+
+// NormalizedInto is Normalized writing into dst (grown as needed),
+// avoiding the per-call allocation on read paths that normalize many
+// traces. dst must not alias t.Values. Returns the result slice.
+func (t Trace) NormalizedInto(dst []float64) []float64 {
+	return stats.NormalizeMaxInto(dst, t.Values)
+}
 
 // Dataset is a labeled collection of traces.
 type Dataset struct {
@@ -52,7 +81,18 @@ type Dataset struct {
 	// aligned traces to a common length (jittered timers can make trace
 	// lengths differ by a sample or two). Zero when every trace agreed.
 	TrimmedSamples int
+
+	// store, when non-nil, is the columnar arena this dataset's traces
+	// alias (see Store.Dataset). Unexported so the gob/json codecs ignore
+	// it — a deserialized dataset owns its traces and has no store until
+	// NewStoreFromDataset packs one.
+	store *Store
 }
+
+// Store returns the columnar arena backing this dataset's traces, or nil
+// for a row-oriented dataset. Fast paths (arena-packed training, the f32
+// inference mirror, byte-accurate cache accounting) key off this.
+func (d *Dataset) Store() *Store { return d.store }
 
 // Len returns the number of traces.
 func (d *Dataset) Len() int { return len(d.Traces) }
@@ -89,9 +129,11 @@ func (d *Dataset) ByClass() map[int][]int {
 	return m
 }
 
-// Subset returns a new dataset containing the given trace indices.
+// Subset returns a new dataset containing the given trace indices. Traces
+// are shared, not copied; a subset of an arena-backed dataset keeps its
+// store reference.
 func (d *Dataset) Subset(idx []int) *Dataset {
-	out := &Dataset{NumClasses: d.NumClasses, Traces: make([]Trace, 0, len(idx))}
+	out := &Dataset{NumClasses: d.NumClasses, store: d.store, Traces: make([]Trace, 0, len(idx))}
 	for _, i := range idx {
 		out.Traces = append(out.Traces, d.Traces[i])
 	}
