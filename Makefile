@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke bench-collect bench-collect-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge bench-smoke bench-obs smoke-obs smoke-telemetry ci clean
+.PHONY: all build vet test race bench bench-ml bench-train bench-train-smoke bench-infer bench-infer-smoke bench-infer-int8 bench-infer-int8-smoke bench-serve bench-serve-smoke bench-collect bench-collect-smoke bench-dist bench-dist-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge check-dist-equivalence bench-smoke bench-obs smoke-obs smoke-telemetry smoke-dist ci clean
 
 # Run directory for benchmark artifacts. Every bench target drops all of its
 # outputs — profiles and the machine-readable JSON from cmd/benchjson — into
@@ -29,7 +29,7 @@ test:
 # gradient-shard worker pool, fold/collection pools, event engine, machine
 # lifecycle, metrics registry/tracer) under the race detector.
 race:
-	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs ./internal/serve ./internal/trace
+	$(GO) test -race ./internal/ml ./internal/core ./internal/sim ./internal/kernel ./internal/obs ./internal/serve ./internal/trace ./internal/dist
 
 # Full benchmark sweep (slow: regenerates every table/figure at bench scale).
 # CPU/heap profiles land next to the parsed BENCH.json in $(OUTDIR) instead
@@ -115,6 +115,20 @@ bench-collect: | $(OUTDIR)
 bench-collect-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkCollectFit|BenchmarkCollectSpill' -benchtime 1x ./internal/core
 
+# Distributed runner: a paced 16-cell grid over 1/2/4 worker replicas
+# (dispatcher scaling — wall clock should halve per doubling) plus the
+# worker-churn leg where a replica dies holding a cell and the retry path
+# completes the grid. BENCH_dist.json at the repo root is the committed
+# baseline; EXPERIMENTS.md's "Distributed runs" section interprets it.
+bench-dist: | $(OUTDIR)
+	$(GO) test -run xxx -bench 'BenchmarkDist' -benchtime 5x ./internal/dist \
+		| $(GO) run ./cmd/benchjson -tee -o $(OUTDIR)/BENCH_dist.json
+
+# One-iteration pass over the dist benchmarks: catches bit-rot in the
+# coordinator/worker bench harness without paying for stable timings.
+bench-dist-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkDist' -benchtime 1x ./internal/dist
+
 # The compiled inference path must agree (argmax per trace) with the float64
 # reference on every golden scenario. Run narrowly with -v and grep for the
 # PASS line: a skipped test prints no PASS, so silent skips fail ci too.
@@ -146,6 +160,14 @@ check-telemetry-merge:
 	$(GO) test -run 'TestAggregatorMergeEquivalence' -v ./internal/obs \
 		| grep -- '--- PASS: TestAggregatorMergeEquivalence'
 
+# The distributed runner's correctness gate: a grid sharded over two
+# in-process workers must produce per-cell results byte-identical to the
+# single-process run and an identical merged manifest row set (modulo
+# source/timing provenance). Same grep discipline as the other gates.
+check-dist-equivalence:
+	$(GO) test -run 'TestDistManifestEquivalence' -v ./internal/dist \
+		| grep -- '--- PASS: TestDistManifestEquivalence'
+
 # One-iteration pass over the simulation-side benchmarks: catches bit-rot in
 # benchmark code without paying for stable timings.
 bench-smoke:
@@ -170,9 +192,23 @@ smoke-obs:
 smoke-telemetry:
 	$(GO) run ./cmd/obstop -selftest | grep -q 'obstop selftest ok'
 
-ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke bench-collect-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge smoke-obs smoke-telemetry
+# Distributed end-to-end smoke: a coordinator and two worker-replica
+# processes split a small run over loopback TCP; the merged manifest must
+# contain the per-cell rows and attribute them to the worker sources.
+smoke-dist:
+	rm -rf smoke-dist-out
+	$(GO) build -o smoke-dist-out/experiments ./cmd/experiments
+	./smoke-dist-out/experiments -worker 127.0.0.1:17961 -workername smoke-w1 & \
+	./smoke-dist-out/experiments -worker 127.0.0.1:17961 -workername smoke-w2 & \
+	./smoke-dist-out/experiments -coordinator 127.0.0.1:17961 -scale small -only bg \
+		-outdir smoke-dist-out -manifest run.json
+	grep -q '"scenario": "bgnoise/quiet"' smoke-dist-out/run.json
+	grep -q '"source": "smoke-w' smoke-dist-out/run.json
+	rm -rf smoke-dist-out
+
+ci: build vet test race bench-smoke bench-infer-smoke bench-infer-int8-smoke bench-train-smoke bench-serve-smoke bench-collect-smoke bench-dist-smoke check-infer-equivalence check-int8-agreement check-train-equivalence check-telemetry-merge check-dist-equivalence smoke-obs smoke-telemetry smoke-dist
 
 clean:
 	$(GO) clean
 	rm -f cpu.prof mem.prof
-	rm -rf smoke-obs-out bench-out
+	rm -rf smoke-obs-out smoke-dist-out bench-out

@@ -9,6 +9,8 @@
 //	            [-trainbatch on|off]
 //	            [-obs] [-progress 2s] [-manifest run.json] [-httpaddr :0]
 //	            [-outdir dir] [-cpuprofile f] [-memprofile f]
+//	            [-coordinator :port [-celldeadline 5m]]
+//	            [-worker host:port [-workername w1] [-lanes N]]
 //
 // The paper's full scale (100 sites × 100 traces + 5000 open world) takes
 // hours; "small" runs in about a minute and preserves every qualitative
@@ -19,6 +21,13 @@
 // imply -obs. Relative manifest/metrics/profile paths resolve under
 // -outdir when set, so one directory collects every run artifact; the
 // manifest is written on failure too, recording how far the run got.
+//
+// -coordinator runs the same tables and figures but shards every
+// experiment cell over worker replicas (internal/dist) instead of running
+// them in-process; start replicas with -worker pointing at the
+// coordinator's address. The coordinator's manifest merges the workers'
+// per-cell rows and metrics, and EXPERIMENTS.md's "Distributed runs"
+// section walks through a multi-worker setup.
 package main
 
 import (
@@ -26,10 +35,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/stats"
@@ -62,17 +73,24 @@ func run() int {
 	obsDir := flag.String("outdir", "", "directory observability artifacts land in: manifest, metrics.json, profiles")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	coordAddr := flag.String("coordinator", "", "shard all experiment cells over worker replicas: listen for them on this address (implies -obs)")
+	workerAddr := flag.String("worker", "", "run as a worker replica pulling cells from the coordinator at this address")
+	workerName := flag.String("workername", "", "telemetry source name for -worker (default host:pid)")
+	lanes := flag.Int("lanes", 1, "concurrent cells per worker replica (-worker)")
+	cellDeadline := flag.Duration("celldeadline", 0, "coordinator: per-assignment cell deadline before the cell is requeued elsewhere (0 disables)")
 	flag.Parse()
+	if *workerAddr != "" && *coordAddr != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -worker and -coordinator are mutually exclusive")
+		return 2
+	}
 	core.SetDatasetCacheCapacity(*dsCacheCap)
 	core.SetDatasetCacheBudget(*dsBudget)
 	core.SetDatasetCacheSpillDir(*dsSpill)
 
-	mk, err := core.ClassifierByName(*clf)
-	if err != nil {
+	if err := core.ConfigureClassifier(*clf); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	core.SetDefaultClassifier(mk)
 
 	if err := core.ConfigureInference(*infer, *inferPar); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -83,7 +101,7 @@ func run() int {
 		return 2
 	}
 
-	if *progress > 0 || *manifestPath != "" || *httpAddr != "" {
+	if *progress > 0 || *manifestPath != "" || *httpAddr != "" || *coordAddr != "" {
 		*obsOn = true
 	}
 	if *obsOn {
@@ -123,6 +141,22 @@ func run() int {
 		defer closeDebug()
 	}
 
+	// Worker replica mode: pull cells from a coordinator until told to
+	// drain. Everything configured above — classifier, inference tier,
+	// dataset cache, profiles, debug server — applies to the cells this
+	// replica runs; scale and step selection come from the coordinator.
+	if *workerAddr != "" {
+		obs.Enable()
+		rep := obs.StartReporter(os.Stderr, *progress, core.ProgressLine)
+		err := dist.RunWorker(*workerAddr, dist.WorkerOptions{Name: *workerName, Lanes: *lanes})
+		rep.Stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
 	sc, figRuns, err := scaleFor(*scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -144,13 +178,38 @@ func run() int {
 		}
 	}
 
+	// Coordinator mode: every experiment cell is dispatched to worker
+	// replicas instead of running here; the dispatcher blocks until the
+	// first worker joins, so starting workers late is fine.
+	var coord *dist.Coordinator
+	progressLine := core.ProgressLine
+	if *coordAddr != "" {
+		coord, err = dist.NewCoordinator(*coordAddr, dist.Config{Deadline: *cellDeadline})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		core.SetCellDispatcher(coord)
+		defer core.SetCellDispatcher(nil)
+		fmt.Fprintf(os.Stderr, "dist: coordinator listening on %s\n", coord.Addr())
+		progressLine = func() string { return core.ProgressLine() + " | " + coord.StatusLine() }
+	}
+
 	start := time.Now()
-	rep := obs.StartReporter(os.Stderr, *progress, core.ProgressLine)
+	rep := obs.StartReporter(os.Stderr, *progress, progressLine)
 	// writeObs flushes the run's observability artifacts. It runs on the
 	// failure path too: a manifest of a crashed run records how far it got
 	// and which cell failed.
 	writeObs := func(runErr error) {
 		rep.Stop()
+		// Drain the coordinator before snapshotting anything: Shutdown
+		// sends bye, and workers answer with a final telemetry frame
+		// carrying their complete manifest-row set.
+		if coord != nil {
+			if err := coord.Shutdown(10 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
 		if !*obsOn {
 			return
 		}
@@ -182,6 +241,24 @@ func run() int {
 		}
 		m.Sections = core.ManifestSections(time.Since(start))
 		m.Finish(obs.Default, obs.DefaultTracer, start)
+		if coord != nil {
+			// The coordinator ran no cells itself: merge the workers'
+			// per-cell rows and metrics into the run manifest so the merged
+			// document matches a single-process run's, plus provenance for
+			// which replica ran what.
+			agg := coord.Aggregator()
+			m.Config["dist.coordinator"] = coord.Addr()
+			m.Config["dist.sources"] = strings.Join(agg.Sources(), ",")
+			m.Sections["dist"] = coord.Stats()
+			m.Metrics = obs.MergeSnapshots(m.Metrics, agg.Merged())
+			m.Cells = append(m.Cells, agg.MergedCells()...)
+			sort.Slice(m.Cells, func(i, j int) bool {
+				if m.Cells[i].Scenario != m.Cells[j].Scenario {
+					return m.Cells[i].Scenario < m.Cells[j].Scenario
+				}
+				return m.Cells[i].Source < m.Cells[j].Source
+			})
+		}
 		path := resolve(*manifestPath)
 		if err := m.WriteFile(path); err != nil {
 			fmt.Fprintln(os.Stderr, err)

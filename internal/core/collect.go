@@ -19,26 +19,28 @@ import (
 )
 
 // Scale sets dataset sizes. The paper's full scale is 100 sites × 100
-// traces (+5000 open world); tests and benches shrink this.
+// traces (+5000 open world); tests and benches shrink this. Scale is part
+// of the CellSpec wire payload, so its fields carry JSON tags and Validate
+// must reject anything a hostile or corrupt spec could carry.
 type Scale struct {
 	// Sites is the number of closed-world sites (first N of Appendix A).
-	Sites int
+	Sites int `json:"sites"`
 	// TracesPerSite is the number of visits recorded per site.
-	TracesPerSite int
+	TracesPerSite int `json:"traces_per_site"`
 	// OpenWorld is the number of non-sensitive traces, each from a
 	// unique site (0 = closed-world experiment).
-	OpenWorld int
+	OpenWorld int `json:"open_world,omitempty"`
 	// Folds for cross-validation (paper: 10).
-	Folds int
+	Folds int `json:"folds"`
 	// Seed roots all randomness.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Parallelism bounds concurrent trace simulations (0 = NumCPU).
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// CellParallelism bounds how many independent experiment cells (table
 	// rows, figure points) run concurrently (0 = all at once). Cells only
 	// pipeline: actual compute is bounded by the process-wide slot pool
 	// regardless, so this knob mainly limits peak memory.
-	CellParallelism int
+	CellParallelism int `json:"cell_parallelism,omitempty"`
 }
 
 // Validate checks the scale is usable.
@@ -51,6 +53,9 @@ func (s Scale) Validate() error {
 	}
 	if s.TracesPerSite < 1 {
 		return fmt.Errorf("core: need at least 1 trace per site")
+	}
+	if s.OpenWorld < 0 {
+		return fmt.Errorf("core: negative open-world count %d", s.OpenWorld)
 	}
 	if s.Folds < 2 {
 		return fmt.Errorf("core: need at least 2 folds")
@@ -268,16 +273,33 @@ func CollectDataset(scn Scenario, sc Scale) (*trace.Dataset, error) {
 }
 
 // collectDatasetSpanned is CollectDataset under an optional parent span
-// (a "cell" span from RunExperiment). The "collect" span it records carries
-// the facts the manifest's per-cell rows need: trace count, trimmed-sample
-// count, whether the dataset came from the cache, and slot-held compute
-// time.
+// (a "cell" span from RunExperiment).
 func collectDatasetSpanned(parent *obs.Span, scn Scenario, sc Scale) (*trace.Dataset, error) {
+	ds, _, err := collectDatasetInfo(parent, scn, sc)
+	return ds, err
+}
+
+// collectInfo carries the collection facts a manifest cell row needs
+// beyond the dataset itself: whether the cache served it, and the
+// slot-held (compute) time spent simulating it.
+type collectInfo struct {
+	cached bool
+	busyNS int64
+}
+
+// collectDatasetInfo is the instrumented collection path: the "collect"
+// span it records carries the facts the manifest's per-cell rows need —
+// trace count, trimmed-sample count, whether the dataset came from the
+// cache, and slot-held compute time — and the same facts are returned so
+// cell runners can build manifest rows without re-deriving them from
+// spans.
+func collectDatasetInfo(parent *obs.Span, scn Scenario, sc Scale) (*trace.Dataset, collectInfo, error) {
+	var info collectInfo
 	if err := sc.Validate(); err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	if err := scn.normalize(); err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	sp := obs.StartSpan(parent, "collect")
 	sp.SetAttr("scenario", scn.Name)
@@ -293,14 +315,16 @@ func collectDatasetSpanned(parent *obs.Span, scn Scenario, sc Scale) (*trace.Dat
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 		sp.End()
-		return nil, err
+		return nil, info, err
 	}
+	info.cached = !ran
+	info.busyNS = busy
 	sp.SetAttr("cached", !ran).SetAttr("traces", len(ds.Traces)).
 		SetAttr("trimmed_samples", ds.TrimmedSamples).SetAttr("busy_ns", busy)
 	sp.End()
 	out := *ds
 	out.Traces = append([]trace.Trace(nil), ds.Traces...)
-	return &out, nil
+	return &out, info, nil
 }
 
 // datasetJobCount returns how many traces CollectDataset will simulate for

@@ -35,6 +35,25 @@ var defaultClassifierOverride ClassifierMaker
 // concurrently with running experiments.
 func SetDefaultClassifier(mk ClassifierMaker) { defaultClassifierOverride = mk }
 
+// defaultClassifierName mirrors the override by name so dispatched cell
+// specs can carry this process's classifier choice to worker replicas
+// (an override function can't travel over the wire).
+var defaultClassifierName string
+
+// ConfigureClassifier resolves a classifier name (the -clf vocabulary)
+// and installs it as the run-wide default, recording the name so
+// RunCellSpecs stamps it into dispatched cells. Not safe to call
+// concurrently with running experiments.
+func ConfigureClassifier(name string) error {
+	mk, err := ClassifierByName(name)
+	if err != nil {
+		return err
+	}
+	SetDefaultClassifier(mk)
+	defaultClassifierName = name
+	return nil
+}
+
 // ClassifierByName maps a command-line name to a ClassifierMaker. The empty
 // string and "centroid" return a nil maker, i.e. the built-in default.
 // Gradient-trained classifiers ("logreg", "cnn") exercise ml.Fit and so
@@ -139,10 +158,18 @@ func Evaluate(ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Res
 	return evaluateSpanned(nil, ds, sc, mk, name)
 }
 
-// evaluateSpanned is Evaluate under an optional parent span. The
-// "evaluate" span carries the fold count and total slot-held compute time;
-// each fold records a child "fold" span.
+// evaluateSpanned is Evaluate under an optional parent span.
 func evaluateSpanned(parent *obs.Span, ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Result, error) {
+	res, _, err := evaluateInfo(parent, ds, sc, mk, name)
+	return res, err
+}
+
+// evaluateInfo is the instrumented evaluation path. The "evaluate" span
+// carries the fold count and total slot-held compute time; each fold
+// records a child "fold" span. The slot-held time is also returned so
+// cell runners can build manifest rows without re-deriving them from
+// spans.
+func evaluateInfo(parent *obs.Span, ds *trace.Dataset, sc Scale, mk ClassifierMaker, name string) (Result, int64, error) {
 	if mk == nil {
 		mk = defaultClassifierOverride
 	}
@@ -158,7 +185,7 @@ func evaluateSpanned(parent *obs.Span, ds *trace.Dataset, sc Scale, mk Classifie
 	}
 	folds, err := ds.KFold(sc.Folds, sc.Seed)
 	if err != nil {
-		return Result{}, err
+		return Result{}, 0, err
 	}
 	sp := obs.StartSpan(parent, "evaluate")
 	sp.SetAttr("scenario", name).SetAttr("folds", len(folds))
@@ -242,7 +269,7 @@ func evaluateSpanned(parent *obs.Span, ds *trace.Dataset, sc Scale, mk Classifie
 	for fi := range folds {
 		out := outs[fi]
 		if out.err != nil {
-			return Result{}, out.err
+			return Result{}, busyNS.Load(), out.err
 		}
 		scores, labels := out.scores, out.labels
 		for ti, s := range scores {
@@ -288,7 +315,7 @@ func evaluateSpanned(parent *obs.Span, ds *trace.Dataset, sc Scale, mk Classifie
 		res.NonSensitive = stats.Summarize(nonsens)
 		res.Combined = stats.Summarize(combined)
 	}
-	return res, nil
+	return res, busyNS.Load(), nil
 }
 
 // RunExperiment collects a dataset for the scenario and evaluates it —

@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/attack"
 	"repro/internal/browser"
-	"repro/internal/clockface"
-	"repro/internal/defense"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 )
@@ -15,32 +12,10 @@ import (
 // This file reproduces the paper's tables. Each function runs the relevant
 // scenarios at the given scale and returns printable rows; EXPERIMENTS.md
 // records the paper-vs-measured comparison.
-
-// experimentCell is one (scenario, scale) point of a table or figure; its
-// Result lands in dst.
-type experimentCell struct {
-	scn   Scenario
-	scale Scale
-	dst   *Result
-}
-
-// runExperimentCells executes independent experiment cells concurrently
-// (bounded by par; 0 = all at once). Compute stays capped by the
-// process-wide slot pool, so cell concurrency pipelines collection with
-// evaluation instead of oversubscribing the CPU. Results are written to
-// per-cell destinations, keeping row order deterministic.
-func runExperimentCells(cells []experimentCell, par int) error {
-	cCellsPlanned.Add(int64(len(cells)))
-	return runCells(len(cells), par, func(i int) error {
-		res, err := RunExperiment(cells[i].scn, cells[i].scale, nil)
-		if err != nil {
-			return err
-		}
-		*cells[i].dst = res
-		cCellsCompleted.Inc()
-		return nil
-	})
-}
+//
+// Tables build their grids as wire-safe CellSpecs and hand them to
+// scatterCells, so the same grid runs through the local cell pool or —
+// when a dispatcher is installed — across worker replicas (internal/dist).
 
 // Table1Config is one (browser, OS) row of Table 1.
 type Table1Config struct {
@@ -96,35 +71,40 @@ func Table1(sc Scale) ([]Table1Row, error) {
 	rows := make([]Table1Row, len(cfgs))
 	closedScale := sc
 	closedScale.OpenWorld = 0
-	var cells []experimentCell
+	var specs []CellSpec
+	var dsts []*Result
+	cell := func(scn ScenarioSpec, scale Scale, dst *Result) {
+		specs = append(specs, CellSpec{Scenario: scn, Scale: scale})
+		dsts = append(dsts, dst)
+	}
 	for i, cfg := range cfgs {
 		rows[i].Config = cfg
-		base := Scenario{
-			OS:      cfg.OS,
-			Browser: cfg.Browser,
+		base := ScenarioSpec{
+			OS:      osSpecName(cfg.OS),
+			Browser: browserSpecName(cfg.Browser),
 		}
 
 		loop := base
 		loop.Name = fmt.Sprintf("t1/%s/%s/loop/closed", cfg.Browser, cfg.OS)
-		loop.Attack = LoopCounting
-		cells = append(cells, experimentCell{loop, closedScale, &rows[i].ClosedLoop})
+		loop.Attack = "loop"
+		cell(loop, closedScale, &rows[i].ClosedLoop)
 
 		sweep := base
 		sweep.Name = fmt.Sprintf("t1/%s/%s/sweep/closed", cfg.Browser, cfg.OS)
-		sweep.Attack = SweepCounting
-		cells = append(cells, experimentCell{sweep, closedScale, &rows[i].ClosedSweep})
+		sweep.Attack = "sweep"
+		cell(sweep, closedScale, &rows[i].ClosedSweep)
 
 		if sc.OpenWorld > 0 {
 			loopOpen := loop
 			loopOpen.Name = fmt.Sprintf("t1/%s/%s/loop/open", cfg.Browser, cfg.OS)
-			cells = append(cells, experimentCell{loopOpen, sc, &rows[i].OpenLoop})
+			cell(loopOpen, sc, &rows[i].OpenLoop)
 
 			sweepOpen := sweep
 			sweepOpen.Name = fmt.Sprintf("t1/%s/%s/sweep/open", cfg.Browser, cfg.OS)
-			cells = append(cells, experimentCell{sweepOpen, sc, &rows[i].OpenSweep})
+			cell(sweepOpen, sc, &rows[i].OpenSweep)
 		}
 	}
-	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+	if err := scatterCells(specs, dsts, sc.CellParallelism); err != nil {
 		return nil, err
 	}
 	for i := range rows {
@@ -153,17 +133,18 @@ func (r Table2Row) String() string {
 // this controlled comparison on a single machine).
 func Table2(sc Scale) ([]Table2Row, error) {
 	sc.OpenWorld = 0
-	// Full capacity up front: cells hold pointers into rows, so the backing
+	// Full capacity up front: dsts hold pointers into rows, so the backing
 	// array must never reallocate.
 	rows := make([]Table2Row, 0, 6)
-	var cells []experimentCell
+	var specs []CellSpec
+	var dsts []*Result
 	for _, kind := range []AttackKind{LoopCounting, SweepCounting} {
 		for _, noise := range []string{"none", "cache-sweep", "interrupt"} {
-			scn := Scenario{
+			scn := ScenarioSpec{
 				Name:    fmt.Sprintf("t2/%s/%s", kind, noise),
-				OS:      kernel.Linux,
-				Browser: browser.Chrome,
-				Attack:  kind,
+				OS:      "linux",
+				Browser: "chrome",
+				Attack:  attackSpecName(kind),
 			}
 			switch noise {
 			case "cache-sweep":
@@ -172,10 +153,11 @@ func Table2(sc Scale) ([]Table2Row, error) {
 				scn.InterruptNoise = true
 			}
 			rows = append(rows, Table2Row{Attack: kind, Noise: noise})
-			cells = append(cells, experimentCell{scn, sc, &rows[len(rows)-1].Result})
+			specs = append(specs, CellSpec{Scenario: scn, Scale: sc})
+			dsts = append(dsts, &rows[len(rows)-1].Result)
 		}
 	}
-	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+	if err := scatterCells(specs, dsts, sc.CellParallelism); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -196,33 +178,35 @@ func (r Table3Row) String() string {
 // adds one mechanism to all previous ones (§5.1).
 func Table3(sc Scale) ([]Table3Row, error) {
 	sc.OpenWorld = 0
-	base := Scenario{
-		OS:      kernel.Linux,
-		Browser: browser.Chrome, // victim browser; attacker is native Python
-		Attack:  LoopCounting,
-		Variant: attack.Python,
-		Timer:   func(uint64) clockface.Timer { return clockface.Python() },
+	base := ScenarioSpec{
+		OS:      "linux",
+		Browser: "chrome", // victim browser; attacker is native Python
+		Attack:  "loop",
+		Variant: "python",
+		Timer:   "python",
 	}
 	steps := []struct {
 		name  string
-		apply func(*Scenario)
+		apply func(*ScenarioSpec)
 	}{
-		{"default", func(s *Scenario) {}},
-		{"+ disable frequency scaling", func(s *Scenario) { s.Isolation.FixedFreqGHz = 2.4 }},
-		{"+ pin to separate cores", func(s *Scenario) { s.Isolation.PinCores = true }},
-		{"+ remove IRQ interrupts", func(s *Scenario) { s.Isolation.RemoveIRQs = true }},
-		{"+ run in separate VMs", func(s *Scenario) { s.Isolation.SeparateVMs = true }},
+		{"default", func(*ScenarioSpec) {}},
+		{"+ disable frequency scaling", func(s *ScenarioSpec) { s.FixedFreqGHz = 2.4 }},
+		{"+ pin to separate cores", func(s *ScenarioSpec) { s.PinCores = true }},
+		{"+ remove IRQ interrupts", func(s *ScenarioSpec) { s.RemoveIRQs = true }},
+		{"+ run in separate VMs", func(s *ScenarioSpec) { s.SeparateVMs = true }},
 	}
 	rows := make([]Table3Row, len(steps))
-	cells := make([]experimentCell, len(steps))
+	specs := make([]CellSpec, len(steps))
+	dsts := make([]*Result, len(steps))
 	scn := base
 	for i, st := range steps {
 		st.apply(&scn) // cumulative: each step keeps all previous mechanisms
 		scn.Name = fmt.Sprintf("t3/%d-%s", i, st.name)
 		rows[i].Mechanism = st.name
-		cells[i] = experimentCell{scn, sc, &rows[i].Result}
+		specs[i] = CellSpec{Scenario: scn, Scale: sc}
+		dsts[i] = &rows[i].Result
 	}
-	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+	if err := scatterCells(specs, dsts, sc.CellParallelism); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -247,43 +231,40 @@ func (r Table4Row) String() string {
 // P ∈ {5, 100, 500} ms (§6.1).
 func Table4(sc Scale) ([]Table4Row, error) {
 	sc.OpenWorld = 0
-	base := Scenario{
-		OS:      kernel.Linux,
-		Browser: browser.Chrome,
-		Attack:  LoopCounting,
-		Variant: attack.Python,
+	base := ScenarioSpec{
+		OS:      "linux",
+		Browser: "chrome",
+		Attack:  "loop",
+		Variant: "python",
 	}
 	type cfg struct {
 		name    string
 		deltaMS float64
 		period  sim.Duration
-		timer   TimerMaker
+		timer   string
 	}
 	cfgs := []cfg{
-		{"jittered", 0.1, 5 * sim.Millisecond,
-			func(seed uint64) clockface.Timer { return clockface.NewJittered(100*sim.Microsecond, seed) }},
-		{"quantized", 100, 5 * sim.Millisecond,
-			func(uint64) clockface.Timer { return clockface.Quantized{Delta: 100 * sim.Millisecond} }},
-		{"randomized", 1, 5 * sim.Millisecond,
-			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
-		{"randomized", 1, 100 * sim.Millisecond,
-			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
-		{"randomized", 1, 500 * sim.Millisecond,
-			func(seed uint64) clockface.Timer { return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer")) }},
+		{"jittered", 0.1, 5 * sim.Millisecond, "jittered:0.1"},
+		{"quantized", 100, 5 * sim.Millisecond, "quantized:100"},
+		{"randomized", 1, 5 * sim.Millisecond, "randomized"},
+		{"randomized", 1, 100 * sim.Millisecond, "randomized"},
+		{"randomized", 1, 500 * sim.Millisecond, "randomized"},
 	}
 	rows := make([]Table4Row, len(cfgs))
-	cells := make([]experimentCell, len(cfgs))
+	specs := make([]CellSpec, len(cfgs))
+	dsts := make([]*Result, len(cfgs))
 	for i, c := range cfgs {
 		scn := base
 		scn.Name = fmt.Sprintf("t4/%d-%s-P%v", i, c.name, c.period)
 		scn.Timer = c.timer
-		scn.Period = c.period
+		scn.PeriodMS = c.period.Milliseconds()
 		rows[i] = Table4Row{
 			Timer: c.name, DeltaMS: c.deltaMS, PeriodMS: c.period.Milliseconds(),
 		}
-		cells[i] = experimentCell{scn, sc, &rows[i].Result}
+		specs[i] = CellSpec{Scenario: scn, Scale: sc}
+		dsts[i] = &rows[i].Result
 	}
-	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+	if err := scatterCells(specs, dsts, sc.CellParallelism); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -303,20 +284,19 @@ func (r BackgroundNoiseResult) String() string {
 // BackgroundNoise runs the robustness experiment on Chrome/Linux.
 func BackgroundNoise(sc Scale) (BackgroundNoiseResult, error) {
 	sc.OpenWorld = 0
-	base := Scenario{
-		OS: kernel.Linux, Browser: browser.Chrome, Attack: LoopCounting,
-	}
+	base := ScenarioSpec{OS: "linux", Browser: "chrome", Attack: "loop"}
 	quiet := base
 	quiet.Name = "bgnoise/quiet"
 	noisy := base
 	noisy.Name = "bgnoise/slack-spotify"
 	noisy.BackgroundNoise = true
 	var res BackgroundNoiseResult
-	cells := []experimentCell{
-		{quiet, sc, &res.Quiet},
-		{noisy, sc, &res.Noisy},
+	specs := []CellSpec{
+		{Scenario: quiet, Scale: sc},
+		{Scenario: noisy, Scale: sc},
 	}
-	if err := runExperimentCells(cells, sc.CellParallelism); err != nil {
+	dsts := []*Result{&res.Quiet, &res.Noisy}
+	if err := scatterCells(specs, dsts, sc.CellParallelism); err != nil {
 		return BackgroundNoiseResult{}, err
 	}
 	return res, nil

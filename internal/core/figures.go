@@ -56,45 +56,36 @@ func Figure4(runs int, seed uint64) ([]Figure4Series, error) {
 		return nil, fmt.Errorf("core: Figure4 needs at least 2 runs")
 	}
 	out := make([]Figure4Series, len(FigureSites))
-	kinds := []struct {
-		kind AttackKind
-		name string
-	}{{LoopCounting, "loop"}, {SweepCounting, "sweep"}}
-	// One cell per (site, attacker) pair: cells pipeline concurrently while
-	// per-visit compute stays bounded by the global slot pool, and each cell
-	// reuses a single machine arena across its visits.
-	err := runCells(len(FigureSites)*len(kinds), 0, func(ci int) error {
-		site, k := FigureSites[ci/len(kinds)], kinds[ci%len(kinds)]
-		profile := website.ProfileFor(site)
-		scn := Scenario{
-			Name: "fig4/" + k.name, OS: kernel.Linux,
-			Browser: browser.Chrome, Attack: k.kind,
+	kinds := []string{"loop", "sweep"}
+	// One "meantrace" cell per (site, attacker) pair: cells pipeline
+	// concurrently (or across worker replicas when a dispatcher is
+	// installed) while per-visit compute stays bounded by the global slot
+	// pool, and each cell reuses a single machine arena across its visits.
+	specs := make([]CellSpec, 0, len(FigureSites)*len(kinds))
+	for _, site := range FigureSites {
+		for _, k := range kinds {
+			specs = append(specs, CellSpec{
+				Kind: "meantrace",
+				Scenario: ScenarioSpec{
+					Name: "fig4/" + k, OS: "linux",
+					Browser: "chrome", Attack: k,
+				},
+				Scale: Scale{Seed: seed},
+				Site:  site,
+				Runs:  runs,
+			})
 		}
-		arena := &kernel.Machine{}
-		traces := make([]trace.Trace, runs)
-		for v := 0; v < runs; v++ {
-			t0 := acquireSlot()
-			tr, err := collectOne(arena, scn, profile, 0, v, seed, nil)
-			releaseSlot(t0)
-			if err != nil {
-				return err
-			}
-			traces[v] = tr
-		}
-		mean, err := trace.MeanTrace(traces)
-		if err != nil {
-			return err
-		}
-		norm := stats.NormalizeMax(mean)
-		if k.kind == LoopCounting {
-			out[ci/len(kinds)].Loop = norm
-		} else {
-			out[ci/len(kinds)].Sweep = norm
-		}
-		return nil
-	})
+	}
+	results, err := RunCellSpecs(specs, 0)
 	if err != nil {
 		return nil, err
+	}
+	for ci, r := range results {
+		if ci%len(kinds) == 0 {
+			out[ci/len(kinds)].Loop = r.Series
+		} else {
+			out[ci/len(kinds)].Sweep = r.Series
+		}
 	}
 	for i, site := range FigureSites {
 		out[i].Site = site

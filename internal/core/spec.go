@@ -140,13 +140,23 @@ func parseTimerSpec(spec string) (TimerMaker, error) {
 		return sim.Duration(v * float64(sim.Millisecond)), nil
 	}
 	switch name {
-	case "precise":
-		return func(uint64) clockface.Timer { return clockface.Precise{} }, nil
-	case "python":
-		return func(uint64) clockface.Timer { return clockface.Python() }, nil
-	case "randomized":
+	case "precise", "python", "randomized":
+		// Argless timers. Specs travel as a wire payload, so an argument
+		// that would be silently ignored is rejected instead.
+		if hasArg {
+			return nil, fmt.Errorf("core: timer spec %q takes no argument", spec)
+		}
+		switch name {
+		case "precise":
+			return func(uint64) clockface.Timer { return clockface.Precise{} }, nil
+		case "python":
+			return func(uint64) clockface.Timer { return clockface.Python() }, nil
+		}
+		// "rnd-timer" matches the stream Table 4 and the golden grid have
+		// always used for the randomized-timer attacker, so spec-resolved
+		// scenarios are bit-identical to directly constructed ones.
 		return func(seed uint64) clockface.Timer {
-			return defense.RandomizedTimer(sim.NewStream(seed, "spec-timer"))
+			return defense.RandomizedTimer(sim.NewStream(seed, "rnd-timer"))
 		}, nil
 	case "quantized":
 		if !hasArg {

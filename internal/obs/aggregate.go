@@ -25,7 +25,14 @@ import (
 // (TestAggregatorMergeEquivalence).
 type Aggregator struct {
 	mu      sync.Mutex
-	sources map[string]*TelemetryFrame
+	sources map[string]*sourceEntry
+}
+
+// sourceEntry is one source's lifecycle state: its newest frame and when it
+// last pushed, so coordinators can report per-worker liveness.
+type sourceEntry struct {
+	frame    *TelemetryFrame
+	lastSeen time.Time
 }
 
 // Aggregator-side observability (meta-telemetry): frames ingested and
@@ -37,7 +44,7 @@ var (
 
 // NewAggregator returns an empty aggregator.
 func NewAggregator() *Aggregator {
-	return &Aggregator{sources: make(map[string]*TelemetryFrame)}
+	return &Aggregator{sources: make(map[string]*sourceEntry)}
 }
 
 // Ingest folds one frame in. Frames must name a source; a frame whose Seq
@@ -50,12 +57,52 @@ func (a *Aggregator) Ingest(f *TelemetryFrame) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if old, ok := a.sources[f.Source]; ok && old.Seq > f.Seq {
-		return nil
+	if e, ok := a.sources[f.Source]; ok {
+		e.lastSeen = time.Now()
+		if e.frame.Seq > f.Seq {
+			return nil
+		}
+		e.frame = f
+	} else {
+		a.sources[f.Source] = &sourceEntry{frame: f, lastSeen: time.Now()}
 	}
-	a.sources[f.Source] = f
 	cAggFrames.Inc()
 	return nil
+}
+
+// SourceStatus describes one source's lifecycle: its retained sequence
+// number, how many manifest rows it has reported, and when it last pushed.
+type SourceStatus struct {
+	Source   string    `json:"source"`
+	Seq      uint64    `json:"seq"`
+	Cells    int       `json:"cells"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// SourceInfo reports every source's status, sorted by name.
+func (a *Aggregator) SourceInfo() []SourceStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SourceStatus, 0, len(a.sources))
+	for _, k := range sortedKeys(a.sources) {
+		e := a.sources[k]
+		out = append(out, SourceStatus{
+			Source: k, Seq: e.frame.Seq, Cells: len(e.frame.Cells), LastSeen: e.lastSeen,
+		})
+	}
+	return out
+}
+
+// Forget drops a source's retained frame — e.g. a worker that left before
+// contributing any cells — reporting whether it was present. A source that
+// pushes again after Forget re-registers from scratch (its absolute
+// snapshot restores the full state).
+func (a *Aggregator) Forget(source string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.sources[source]
+	delete(a.sources, source)
+	return ok
 }
 
 // Sources lists the source names seen so far, sorted.
@@ -71,7 +118,7 @@ func (a *Aggregator) frames() []*TelemetryFrame {
 	defer a.mu.Unlock()
 	fs := make([]*TelemetryFrame, 0, len(a.sources))
 	for _, k := range sortedKeys(a.sources) {
-		fs = append(fs, a.sources[k])
+		fs = append(fs, a.sources[k].frame)
 	}
 	return fs
 }

@@ -204,3 +204,37 @@ func TestAggregatorRejectsMalformedStream(t *testing.T) {
 	}
 	c.Close()
 }
+
+func TestAggregatorSourceLifecycle(t *testing.T) {
+	agg := NewAggregator()
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	f := mustFrame(t, "w1", 3, r.Snapshot())
+	f.Cells = []CellSummary{{Scenario: "t1/a"}, {Scenario: "t1/b"}}
+	agg.Ingest(f)
+	agg.Ingest(mustFrame(t, "w2", 1, r.Snapshot()))
+
+	info := agg.SourceInfo()
+	if len(info) != 2 || info[0].Source != "w1" || info[1].Source != "w2" {
+		t.Fatalf("SourceInfo = %+v", info)
+	}
+	if info[0].Seq != 3 || info[0].Cells != 2 || info[0].LastSeen.IsZero() {
+		t.Fatalf("w1 status = %+v", info[0])
+	}
+
+	if !agg.Forget("w1") {
+		t.Fatal("Forget(w1) = false")
+	}
+	if agg.Forget("w1") {
+		t.Fatal("Forget(w1) twice = true")
+	}
+	if srcs := agg.Sources(); len(srcs) != 1 || srcs[0] != "w2" {
+		t.Fatalf("sources after forget = %v", srcs)
+	}
+	// A forgotten source that pushes again re-registers from scratch,
+	// even with a lower sequence number.
+	agg.Ingest(mustFrame(t, "w1", 1, r.Snapshot()))
+	if srcs := agg.Sources(); len(srcs) != 2 {
+		t.Fatalf("sources after re-register = %v", srcs)
+	}
+}
